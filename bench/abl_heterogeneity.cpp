@@ -1,0 +1,72 @@
+/// Ablation — how radius heterogeneity shapes the skyline set.
+///
+/// Figure 5.4's skyline curve sits *below* its homogeneous counterpart:
+/// with radii in a wider band, large disks swallow small ones and the
+/// skyline set shrinks.  This ablation sweeps the radius band
+/// r ~ U[1, 1 + w] for w in {0, 0.25, ..., 2} at fixed average degree and
+/// measures the skyline forwarding-set size, the per-relay 2-hop coverage
+/// gap frequency (Figure 5.6's phenomenon should *grow* with w), and the
+/// share of 1-hop neighbors dominated by a single bigger neighbor.
+
+#include <iostream>
+
+#include "../bench/common.hpp"
+#include "broadcast/coverage_gap.hpp"
+
+int main() {
+  using namespace mldcs;
+  bench::banner("Ablation: radius heterogeneity",
+                "skyline size and coverage-gap rate vs radius band width");
+
+  sim::Table table({"band_w", "avg_1hop_meas", "skyline_avg", "flooding_avg",
+                    "gap_rate_pct"});
+  std::vector<double> sky_means;
+  std::vector<double> gap_rates;
+
+  for (double w : {0.0, 0.25, 0.5, 1.0, 1.5, 2.0}) {
+    sim::RunningStats deg, sky, flood;
+    std::size_t gaps = 0;
+    const std::size_t trials = 120;
+    for (std::size_t t = 0; t < trials; ++t) {
+      net::DeploymentParams p;
+      p.model = w == 0.0 ? net::RadiusModel::kHomogeneous
+                         : net::RadiusModel::kUniform;
+      p.r_fixed = 1.0;
+      p.r_min = 1.0;
+      p.r_max = 1.0 + w;
+      p.target_avg_degree = 10;
+      sim::Xoshiro256 rng(sim::derive_seed(
+          bench::kMasterSeed,
+          990000 + static_cast<std::uint64_t>(w * 100) * 1000 + t));
+      const auto g = net::generate_graph(p, rng);
+      const bcast::LocalView view = bcast::local_view(g, 0);
+      deg.add(static_cast<double>(view.one_hop.size()));
+      flood.add(static_cast<double>(view.one_hop.size()));
+      sky.add(static_cast<double>(
+          bcast::skyline_forwarding_set(g, view).size()));
+      if (bcast::skyline_coverage_gap(g, 0).exists()) ++gaps;
+    }
+    const double gap_rate =
+        100.0 * static_cast<double>(gaps) / static_cast<double>(trials);
+    sky_means.push_back(sky.mean());
+    gap_rates.push_back(gap_rate);
+    table.add_numeric_row({w, deg.mean(), sky.mean(), flood.mean(), gap_rate});
+  }
+
+  table.print(std::cout);
+  std::cout << '\n';
+  table.print_csv(std::cout);
+
+  // Shape: skyline size shrinks with heterogeneity; homogeneous band has
+  // zero gaps, wide bands have many.
+  const bool shrinks = sky_means.front() > sky_means.back();
+  const bool gaps_grow = gap_rates.front() == 0.0 &&
+                         gap_rates.back() > gap_rates[1];
+  std::cout << "\nreading: wider radius bands let big disks swallow small "
+               "ones — the MLDCS shrinks, but the 1-hop-only guarantee "
+               "erodes (more Figure 5.6 coverage gaps).\n";
+  std::cout << ((shrinks && gaps_grow)
+                    ? "[OK] heterogeneity shrinks the skyline and grows the gap rate\n"
+                    : "[WARN] unexpected heterogeneity trend\n");
+  return (shrinks && gaps_grow) ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+/// Ablation — Lemma 8's insertion-order argument, measured.
+///
+/// Lemma 8's proof inserts disks in DECREASING radius order and shows each
+/// insertion adds at most 2 arcs to the skyline.  Figure 4.1 shows the
+/// bound fails for other orders: a small disk inserted late can add k arcs.
+/// This ablation inserts the same random disk sets under decreasing /
+/// increasing / input order and records the maximum per-insertion arc
+/// delta: decreasing order must never exceed +2; the others may.
+
+#include <algorithm>
+#include <iostream>
+
+#include "../bench/common.hpp"
+#include "core/merge.hpp"
+#include "core/scenarios.hpp"
+#include "core/skyline.hpp"
+
+namespace {
+
+using namespace mldcs;
+
+/// Insert disks one at a time in the given permutation; return the largest
+/// single-insertion increase in skyline arc count.
+long max_arc_delta(const std::vector<geom::Disk>& disks, geom::Vec2 o,
+                   const std::vector<std::size_t>& order) {
+  std::vector<core::Arc> acc;
+  long worst = 0;
+  long prev = 0;
+  for (std::size_t idx : order) {
+    const std::vector<core::Arc> single{core::Arc{0.0, geom::kTwoPi, idx}};
+    acc = acc.empty() ? single
+                      : core::merge_skylines(acc, single, disks, o);
+    const long now = static_cast<long>(acc.size());
+    worst = std::max(worst, now - prev);
+    prev = now;
+  }
+  return worst;
+}
+
+std::vector<std::size_t> sorted_order(const std::vector<geom::Disk>& disks,
+                                      bool decreasing) {
+  std::vector<std::size_t> order(disks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return decreasing ? disks[a].radius > disks[b].radius
+                                       : disks[a].radius < disks[b].radius;
+                   });
+  return order;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: insertion order (Lemma 8)",
+                "max arcs added by one insertion, by radius order");
+
+  sim::Table table({"scenario", "decreasing", "increasing", "input_order"});
+  bool lemma_holds = true;
+  long worst_other = 0;
+
+  // Random heterogeneous neighborhoods (narrow band -> many crossings).
+  sim::Xoshiro256 rng(0xAB1A);
+  long dec_w = 0, inc_w = 0, inp_w = 0;
+  for (int rep = 0; rep < 300; ++rep) {
+    const core::Scenario sc = core::random_local_set(rng, 24, true, 1.0, 1.3);
+    std::vector<std::size_t> input(sc.disks.size());
+    for (std::size_t i = 0; i < input.size(); ++i) input[i] = i;
+    dec_w = std::max(dec_w,
+                     max_arc_delta(sc.disks, sc.origin,
+                                   sorted_order(sc.disks, true)));
+    inc_w = std::max(inc_w,
+                     max_arc_delta(sc.disks, sc.origin,
+                                   sorted_order(sc.disks, false)));
+    inp_w = std::max(inp_w, max_arc_delta(sc.disks, sc.origin, input));
+  }
+  lemma_holds = lemma_holds && dec_w <= 2;
+  worst_other = std::max({worst_other, inc_w, inp_w});
+  table.add_row({"random n=24 (300 reps)", std::to_string(dec_w),
+                 std::to_string(inc_w), std::to_string(inp_w)});
+
+  // The Figure 4.1 adversarial configurations.
+  for (std::size_t k : {4u, 8u, 12u}) {
+    const core::Scenario sc = core::figure41_configuration(k);
+    std::vector<std::size_t> input(sc.disks.size());
+    for (std::size_t i = 0; i < input.size(); ++i) input[i] = i;
+    const long dec = max_arc_delta(sc.disks, sc.origin,
+                                   sorted_order(sc.disks, true));
+    const long inc = max_arc_delta(sc.disks, sc.origin,
+                                   sorted_order(sc.disks, false));
+    const long inp = max_arc_delta(sc.disks, sc.origin, input);
+    lemma_holds = lemma_holds && dec <= 2;
+    worst_other = std::max({worst_other, inc, inp});
+    table.add_row({"figure 4.1 k=" + std::to_string(k), std::to_string(dec),
+                   std::to_string(inc), std::to_string(inp)});
+  }
+
+  table.print(std::cout);
+  std::cout << '\n';
+  table.print_csv(std::cout);
+
+  std::cout << "\nreading: decreasing-radius insertion never adds more than "
+               "2 arcs (Lemma 8); other orders reach +"
+            << worst_other << " in the Figure 4.1 configurations.\n";
+  std::cout << (lemma_holds && worst_other > 2
+                    ? "[OK] Lemma 8 insertion bound confirmed, and shown to "
+                      "fail without the ordering\n"
+                    : "[WARN] unexpected insertion-order behaviour\n");
+  return (lemma_holds && worst_other > 2) ? 0 : 1;
+}

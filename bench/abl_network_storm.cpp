@@ -1,0 +1,83 @@
+/// Ablation — network-wide broadcast storm: sender designation alone vs the
+/// hybrid with receiver-side self-pruning (related work [10][11]).
+///
+/// The Chapter 5 figures measure *per-relay* forwarding-set size.  Network-
+/// wide, sender-based designation accumulates (a node relays if ANY sender
+/// names it), so the storm reduction is muted; adding the Wu-Li
+/// self-pruning rule at receivers recovers it.  This bench quantifies both
+/// effects and checks that delivery never suffers.
+
+#include <iostream>
+
+#include "../bench/common.hpp"
+#include "broadcast/broadcast_sim.hpp"
+#include "broadcast/self_pruning.hpp"
+
+int main() {
+  using namespace mldcs;
+  bench::banner("Ablation: network-wide storm",
+                "total transmissions per broadcast, sender-only vs hybrid");
+
+  sim::Table table({"avg_1hop", "nodes", "flooding", "skyline",
+                    "flood+prune", "skyline+prune", "greedy+prune",
+                    "delivery_ok"});
+  bool all_delivered = true;
+  bool hybrid_wins = true;
+
+  for (int n = 6; n <= 18; n += 4) {
+    sim::RunningStats nodes_s, flood, sky, floodp, skyp, greedyp;
+    bool delivered = true;
+    const std::size_t trials = 60;
+    for (std::size_t t = 0; t < trials; ++t) {
+      net::DeploymentParams p;
+      p.model = net::RadiusModel::kHomogeneous;  // delivery guaranteed
+      p.target_avg_degree = n;
+      sim::Xoshiro256 rng(sim::derive_seed(
+          bench::kMasterSeed, 880000 + static_cast<std::uint64_t>(n) * 1000 + t));
+      const auto g = net::generate_graph(p, rng);
+      nodes_s.add(static_cast<double>(g.size()));
+
+      const auto f = bcast::simulate_broadcast(g, 0, bcast::Scheme::kFlooding);
+      const auto s = bcast::simulate_broadcast(g, 0, bcast::Scheme::kSkyline);
+      const auto fp =
+          bcast::simulate_pruned_broadcast(g, 0, bcast::Scheme::kFlooding);
+      const auto sp =
+          bcast::simulate_pruned_broadcast(g, 0, bcast::Scheme::kSkyline);
+      const auto gp =
+          bcast::simulate_pruned_broadcast(g, 0, bcast::Scheme::kGreedy);
+      delivered = delivered && f.full_delivery() && s.full_delivery() &&
+                  fp.full_delivery() && sp.full_delivery() &&
+                  gp.full_delivery();
+      flood.add(static_cast<double>(f.transmissions));
+      sky.add(static_cast<double>(s.transmissions));
+      floodp.add(static_cast<double>(fp.transmissions));
+      skyp.add(static_cast<double>(sp.transmissions));
+      greedyp.add(static_cast<double>(gp.transmissions));
+    }
+    all_delivered = all_delivered && delivered;
+    hybrid_wins = hybrid_wins && skyp.mean() <= sky.mean() + 1e-9 &&
+                  floodp.mean() < flood.mean() &&
+                  skyp.mean() <= floodp.mean() + 1e-9;
+    table.add_numeric_row({static_cast<double>(n), nodes_s.mean(),
+                           flood.mean(), sky.mean(), floodp.mean(),
+                           skyp.mean(), greedyp.mean()});
+    // delivery flag as last column (numeric row then patch would be ugly;
+    // re-add as a separate textual row only on failure)
+    if (!delivered) {
+      table.add_row({"^^^", "", "", "", "", "", "", "DELIVERY FAILED"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  table.print_csv(std::cout);
+
+  std::cout << "\nreading: per-broadcast transmissions.  Sender-only skyline "
+               "trims little network-wide (designations accumulate), but "
+               "skyline+self-pruning beats flooding+self-pruning: smaller "
+               "designated sets give the pruning rule more silence to work "
+               "with.\n";
+  std::cout << ((all_delivered && hybrid_wins)
+                    ? "[OK] full delivery everywhere; hybrid reduces the storm\n"
+                    : "[WARN] unexpected storm/delivery behaviour\n");
+  return (all_delivered && hybrid_wins) ? 0 : 1;
+}

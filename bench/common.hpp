@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared driver for the Chapter 5 figure benches: run the paper's
+/// simulation protocol (random point sets over the 12.5 x 12.5 square,
+/// source u at the center, 200 trials) and collect the forwarding-set size
+/// of u under each scheme.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "broadcast/forwarding.hpp"
+#include "net/topology.hpp"
+#include "sim/histogram.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+
+namespace mldcs::bench {
+
+/// The paper's trial count (Section 5.1: "200 random point sets").
+inline constexpr std::size_t kTrials = 200;
+
+/// Master seed for all figure benches; change to re-draw every experiment.
+inline constexpr std::uint64_t kMasterSeed = 20070600;  // ICPP 2007 vintage
+
+/// Per-trial forwarding-set sizes of the source node (node 0) for each
+/// requested scheme, on freshly drawn deployments.  sizes[s][t] = size of
+/// scheme `schemes[s]`'s forwarding set in trial t.  Trials are
+/// deterministic per (seed, trial) and shared across schemes (every scheme
+/// sees the same point set, as in the paper).
+inline std::vector<std::vector<std::uint64_t>> run_sweep_point(
+    const net::DeploymentParams& params,
+    const std::vector<bcast::Scheme>& schemes, std::size_t trials,
+    std::uint64_t seed) {
+  std::vector<std::vector<std::uint64_t>> sizes(
+      schemes.size(), std::vector<std::uint64_t>(trials, 0));
+  sim::parallel_for(trials, [&](std::size_t t) {
+    sim::Xoshiro256 rng(sim::derive_seed(seed, t));
+    const net::DiskGraph g = net::generate_graph(params, rng);
+    const bcast::LocalView view = bcast::local_view(g, 0);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      sizes[s][t] = bcast::forwarding_set(g, view, schemes[s]).size();
+    }
+  });
+  return sizes;
+}
+
+/// Mean of integer sizes.
+inline double mean_size(const std::vector<std::uint64_t>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (auto v : xs) acc += static_cast<double>(v);
+  return acc / static_cast<double>(xs.size());
+}
+
+/// Standard bench banner so every binary's output is self-describing.
+inline void banner(const std::string& experiment_id, const std::string& what) {
+  std::cout << "==================================================================\n"
+            << experiment_id << " — " << what << '\n'
+            << "trials per point: " << kTrials << ", master seed: "
+            << kMasterSeed << '\n'
+            << "==================================================================\n";
+}
+
+}  // namespace mldcs::bench

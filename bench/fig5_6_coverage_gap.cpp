@@ -1,0 +1,110 @@
+/// Figure 5.6 — the drawback of 1-hop-only skyline forwarding under
+/// bidirectional links in heterogeneous networks.
+///
+/// Part A reproduces the paper's exact 6-node construction: the skyline set
+/// is {u3} but the optimal forwarding set is {u1, u2}, and a skyline-driven
+/// broadcast never reaches the 2-hop neighbors u4, u5.
+///
+/// Part B (extension) quantifies how often the phenomenon occurs in the
+/// Chapter 5 random heterogeneous deployments, versus average degree, and
+/// shows the patched scheme (skyline + greedy gap repair) restores 2-hop
+/// domination.
+
+#include <iostream>
+
+#include "../bench/common.hpp"
+#include "broadcast/broadcast_sim.hpp"
+#include "broadcast/coverage_gap.hpp"
+
+int main() {
+  using namespace mldcs;
+  bench::banner("Figure 5.6",
+                "skyline forwarding can miss 2-hop neighbors under "
+                "bidirectional links");
+
+  // --- Part A: the canonical construction.
+  {
+    const auto g = bcast::figure56_topology();
+    const bcast::LocalView view = bcast::local_view(g, 0);
+    const auto sky = bcast::skyline_forwarding_set(g, view);
+    const auto opt = bcast::optimal_forwarding_set(g, view);
+    const auto gap = bcast::skyline_coverage_gap(g, 0);
+
+    std::cout << "Part A: the paper's 6-node construction\n";
+    std::cout << "  nodes:\n";
+    for (const auto& n : g.nodes()) std::cout << "    " << n << '\n';
+    std::cout << "  skyline forwarding set of u:  {";
+    for (auto v : sky) std::cout << " u" << v;
+    std::cout << " }   (paper: {u3})\n";
+    std::cout << "  optimal forwarding set of u:  {";
+    for (auto v : opt) std::cout << " u" << v;
+    std::cout << " }   (paper: {u1, u2})\n";
+    std::cout << "  2-hop neighbors missed by the skyline set: {";
+    for (auto v : gap.uncovered) std::cout << " u" << v;
+    std::cout << " }   (paper: {u4, u5})\n";
+
+    const auto link = bcast::simulate_broadcast(
+        g, 0, bcast::Scheme::kSkyline,
+        bcast::ReceptionModel::kBidirectionalLink);
+    const auto phys = bcast::simulate_broadcast(
+        g, 0, bcast::Scheme::kSkyline,
+        bcast::ReceptionModel::kPhysicalCoverage);
+    std::cout << "  skyline broadcast, link reception:     delivered "
+              << link.delivered << "/" << link.reachable << '\n'
+              << "  skyline broadcast, physical reception: delivered "
+              << phys.delivered << "/" << g.size()
+              << "  (the gap is a bidirectional-link artifact)\n\n";
+  }
+
+  // --- Part B: Monte-Carlo frequency of the gap in Chapter 5 deployments.
+  std::cout << "Part B: frequency in random heterogeneous deployments "
+               "(r ~ U[1,2])\n";
+  sim::Table table({"avg_1hop", "gap_trials_of_200", "avg_missed_2hop",
+                    "patched_gap_trials"});
+  bool any_gap = false;
+  for (int n = 4; n <= 20; n += 4) {
+    std::size_t gap_trials = 0;
+    std::size_t patched_gap_trials = 0;
+    double missed_acc = 0.0;
+    for (std::size_t t = 0; t < bench::kTrials; ++t) {
+      net::DeploymentParams p;
+      p.model = net::RadiusModel::kUniform;
+      p.target_avg_degree = n;
+      sim::Xoshiro256 rng(sim::derive_seed(
+          bench::kMasterSeed, 560000 + static_cast<std::uint64_t>(n) * 1000 + t));
+      const auto g = net::generate_graph(p, rng);
+      const auto gap = bcast::skyline_coverage_gap(g, 0);
+      if (gap.exists()) {
+        ++gap_trials;
+        missed_acc += static_cast<double>(gap.uncovered.size());
+      }
+      // Patched scheme: must never leave a 2-hop neighbor uncovered.
+      const bcast::LocalView view = bcast::local_view(g, 0);
+      const auto patched = bcast::patched_skyline_forwarding_set(g, view);
+      for (net::NodeId w : view.two_hop) {
+        bool covered = false;
+        for (net::NodeId v : patched) covered = covered || g.linked(v, w);
+        if (!covered) {
+          ++patched_gap_trials;
+          break;
+        }
+      }
+    }
+    any_gap = any_gap || gap_trials > 0;
+    table.add_row({std::to_string(n), std::to_string(gap_trials),
+                   sim::format_double(
+                       gap_trials ? missed_acc / static_cast<double>(gap_trials)
+                                  : 0.0,
+                       2),
+                   std::to_string(patched_gap_trials)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  table.print_csv(std::cout);
+
+  std::cout << (any_gap
+                    ? "\n[OK] the Figure 5.6 phenomenon occurs in random "
+                      "heterogeneous deployments; the patched scheme closes it\n"
+                    : "\n[WARN] no gap observed — unexpected\n");
+  return any_gap ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+/// Section 5.1.1 cost argument — HELLO-beacon overhead: the skyline scheme
+/// needs only 1-hop beacons; the selecting-forwarding-set / greedy /
+/// optimal schemes need 2-hop beacons (each HELLO carries the sender's
+/// neighbor list).  This bench quantifies the per-period message/byte cost
+/// on the Chapter 5 deployments, and the maintenance amplification under
+/// mobility (every position change re-triggers beacons; 2-hop knowledge
+/// additionally goes stale at neighbors-of-neighbors).
+
+#include <iostream>
+
+#include "../bench/common.hpp"
+#include "net/hello.hpp"
+
+int main() {
+  using namespace mldcs;
+  bench::banner("Table: HELLO overhead",
+                "1-hop vs 2-hop neighbor-information maintenance cost");
+
+  sim::Table table({"avg_1hop", "model", "hello1_bytes", "hello2_bytes",
+                    "ratio"});
+  bool ordered = true;
+  double prev_ratio = 0.0;
+  for (int n = 4; n <= 20; n += 4) {
+    for (const bool hetero : {false, true}) {
+      net::DeploymentParams p;
+      p.model = hetero ? net::RadiusModel::kUniform
+                       : net::RadiusModel::kHomogeneous;
+      p.target_avg_degree = n;
+      sim::RunningStats h1, h2;
+      for (std::size_t t = 0; t < 50; ++t) {
+        sim::Xoshiro256 rng(sim::derive_seed(
+            bench::kMasterSeed,
+            700000 + static_cast<std::uint64_t>(n) * 100 + t * 2 +
+                (hetero ? 1 : 0)));
+        const auto g = net::generate_graph(p, rng);
+        h1.add(static_cast<double>(net::hello1_cost(g).bytes));
+        h2.add(static_cast<double>(net::hello2_cost(g).bytes));
+      }
+      const double ratio = h2.mean() / h1.mean();
+      if (!hetero) {
+        ordered = ordered && ratio > prev_ratio;  // grows with density
+        prev_ratio = ratio;
+      }
+      table.add_row({std::to_string(n), hetero ? "hetero" : "homo",
+                     sim::format_double(h1.mean(), 0),
+                     sim::format_double(h2.mean(), 0),
+                     sim::format_double(ratio, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  table.print_csv(std::cout);
+
+  std::cout
+      << "\nreading: a 2-hop HELLO period costs ~(1 + avg_degree)x the bytes"
+         " of a 1-hop period; under mobility every beacon period repeats "
+         "this, so 1-hop-only schemes (skyline) amortize far better — the "
+         "Section 5.1.1 argument.\n";
+  std::cout << (ordered
+                    ? "[OK] 2-hop/1-hop cost ratio grows with density\n"
+                    : "[WARN] cost ratio not monotone in density\n");
+  return ordered ? 0 : 1;
+}

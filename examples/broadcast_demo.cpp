@@ -1,0 +1,74 @@
+/// Broadcast demo: deploy a heterogeneous ad hoc network, broadcast from
+/// the center under each forwarding scheme, and compare the broadcast-storm
+/// metrics (transmissions, delivery, latency).
+///
+/// Usage: broadcast_demo [avg_degree] [seed] [hetero(0|1)]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "broadcast/broadcast_sim.hpp"
+#include "broadcast/coverage_gap.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mldcs;
+
+  const double degree = argc > 1 ? std::atof(argv[1]) : 10.0;
+  const std::uint64_t seed = argc > 2
+                                 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                                 : 7;
+  const bool hetero = argc > 3 ? std::atoi(argv[3]) != 0 : true;
+
+  net::DeploymentParams p;
+  p.model = hetero ? net::RadiusModel::kUniform : net::RadiusModel::kHomogeneous;
+  p.target_avg_degree = degree;
+  sim::Xoshiro256 rng(seed);
+  const net::DiskGraph g = net::generate_graph(p, rng);
+
+  std::cout << "deployment: " << g.size() << " nodes over " << p.side << " x "
+            << p.side << (hetero ? ", radii U[1,2]" : ", radius 1") << '\n'
+            << "edges: " << g.edge_count()
+            << ", average degree: " << g.average_degree()
+            << ", connected: " << (g.connected() ? "yes" : "no") << "\n\n";
+
+  const bcast::LocalView view = bcast::local_view(g, 0);
+  std::cout << "source (center) has " << view.one_hop.size()
+            << " 1-hop and " << view.two_hop.size() << " 2-hop neighbors\n\n";
+
+  sim::Table table({"scheme", "fwd_set_of_source", "transmissions",
+                    "delivered", "reachable", "max_hops", "full_delivery"});
+  std::vector<bcast::Scheme> schemes{bcast::Scheme::kFlooding,
+                                     bcast::Scheme::kSkyline,
+                                     bcast::Scheme::kGreedy,
+                                     bcast::Scheme::kOptimal};
+  if (!hetero) {
+    schemes.insert(schemes.begin() + 2, bcast::Scheme::kSelectingForwardingSet);
+  }
+
+  for (const bcast::Scheme s : schemes) {
+    const auto fwd = bcast::forwarding_set(g, view, s);
+    const auto r = bcast::simulate_broadcast(g, 0, s);
+    table.add_row({std::string(bcast::scheme_name(s)),
+                   std::to_string(fwd.size()), std::to_string(r.transmissions),
+                   std::to_string(r.delivered), std::to_string(r.reachable),
+                   std::to_string(r.max_hops),
+                   r.full_delivery() ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  if (hetero) {
+    const auto gap = bcast::skyline_coverage_gap(g, 0);
+    std::cout << "\nskyline 2-hop coverage gap at the source: "
+              << (gap.exists() ? "YES (Figure 5.6 case)" : "no");
+    if (gap.exists()) {
+      std::cout << " — missed 2-hop neighbors:";
+      for (auto w : gap.uncovered) std::cout << ' ' << w;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

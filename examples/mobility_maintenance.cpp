@@ -1,0 +1,103 @@
+/// Mobility maintenance: the Section 5.1.1 argument in action.
+///
+/// Nodes move by a random-waypoint-style step each beacon period.  Every
+/// period, all nodes re-beacon; 1-hop schemes (skyline) are consistent
+/// after ONE period, while 2-hop schemes need TWO (a position change
+/// propagates to neighbors-of-neighbors only on the second beacon).  The
+/// example measures (a) cumulative beacon bytes for 1-hop vs 2-hop
+/// maintenance, and (b) how often a greedy forwarding set computed from
+/// one-period-stale 2-hop data fails to dominate the true 2-hop set,
+/// versus the skyline set which is always computed from fresh 1-hop data.
+///
+/// Usage: mobility_maintenance [periods] [speed] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "broadcast/forwarding.hpp"
+#include "net/hello.hpp"
+#include "net/mobility.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mldcs;
+
+  const int periods = argc > 1 ? std::atoi(argv[1]) : 20;
+  const double speed = argc > 2 ? std::atof(argv[2]) : 0.25;  // per period
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 11;
+
+  net::DeploymentParams p;
+  p.model = net::RadiusModel::kUniform;
+  p.target_avg_degree = 10;
+  net::WaypointParams wp;
+  wp.v_min = speed * 0.2;
+  wp.v_max = speed;
+  wp.pause = 1.0;
+  sim::Xoshiro256 rng(seed);
+  net::MobileNetwork mobile(p, wp, rng);
+
+  std::uint64_t bytes_1hop = 0;
+  std::uint64_t bytes_2hop = 0;
+  int stale_failures = 0;
+  int checks = 0;
+
+  // The 2-hop view a node holds is what its neighbors advertised LAST
+  // period (their own 1-hop lists lag one period behind reality).
+  net::DiskGraph prev = mobile.snapshot();
+
+  for (int t = 0; t < periods; ++t) {
+    mobile.step(1.0, rng);  // one beacon period of random-waypoint motion
+    const net::DiskGraph now = mobile.snapshot();
+
+    // Beacon cost this period.
+    bytes_1hop += net::hello1_cost(now).bytes;
+    bytes_2hop += net::hello2_cost(now).bytes;
+
+    // Staleness check at the source: greedy computed with last period's
+    // 2-hop knowledge vs today's true 2-hop neighborhood.
+    const bcast::LocalView fresh = bcast::local_view(now, 0);
+    const bcast::LocalView stale = bcast::local_view(prev, 0);
+    if (!fresh.two_hop.empty() && !stale.one_hop.empty()) {
+      ++checks;
+      const auto greedy_stale = bcast::greedy_forwarding_set(prev, stale);
+      bool dominates = true;
+      for (net::NodeId w : fresh.two_hop) {
+        bool covered = false;
+        for (net::NodeId v : greedy_stale) {
+          covered = covered || now.linked(v, w);
+        }
+        if (!covered) {
+          dominates = false;
+          break;
+        }
+      }
+      if (!dominates) ++stale_failures;
+    }
+    prev = now;
+  }
+
+  sim::Table table({"metric", "1-hop (skyline)", "2-hop (greedy/optimal)"});
+  table.add_row({"beacon bytes over " + std::to_string(periods) + " periods",
+                 std::to_string(bytes_1hop), std::to_string(bytes_2hop)});
+  table.add_row({"bytes ratio", "1.00",
+                 sim::format_double(static_cast<double>(bytes_2hop) /
+                                        static_cast<double>(bytes_1hop),
+                                    2)});
+  table.add_row({"stale-knowledge 2-hop coverage failures",
+                 "0 (always fresh: 1 period suffices)",
+                 std::to_string(stale_failures) + " / " +
+                     std::to_string(checks) + " periods"});
+  table.print(std::cout);
+
+  std::cout << "\ntotal distance travelled by all nodes: "
+            << sim::format_double(mobile.total_distance(), 1) << " units over "
+            << periods << " random-waypoint periods\n";
+  std::cout << "\nreading: maintaining 2-hop views costs ~(1+degree)x the "
+               "beacon bytes and still lags one period behind under "
+               "mobility; the skyline scheme's 1-hop view is both cheaper "
+               "and fresher (Section 5.1.1).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "broadcast/broadcast_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace mldcs::bcast {
+
+namespace {
+
+/// Receivers of a transmission by u under the chosen reception model.
+std::vector<net::NodeId> receivers_of(const net::DiskGraph& g, net::NodeId u,
+                                      ReceptionModel model) {
+  if (model == ReceptionModel::kBidirectionalLink) {
+    const auto nb = g.neighbors(u);
+    return {nb.begin(), nb.end()};
+  }
+  // Physical coverage: anyone inside B(u, r_u).  (O(N) scan; the physical
+  // model is only used in the Figure 5.6 study on small graphs.)
+  std::vector<net::NodeId> out;
+  const net::Node& nu = g.node(u);
+  for (const net::Node& v : g.nodes()) {
+    if (v.id != u && nu.covers(v)) out.push_back(v.id);
+  }
+  return out;
+}
+
+}  // namespace
+
+BroadcastResult simulate_broadcast(const net::DiskGraph& g, net::NodeId source,
+                                   Scheme scheme, ReceptionModel reception) {
+  BroadcastResult result;
+  if (source >= g.size()) return result;
+  result.reachable = g.reachable_from(source).size();
+
+  std::vector<bool> received(g.size(), false);
+  std::vector<bool> designated(g.size(), false);
+  std::vector<bool> transmitted(g.size(), false);
+  std::vector<std::uint64_t> hops(g.size(), 0);
+
+  // FIFO queue of pending transmissions keeps hop counts BFS-ordered.
+  std::queue<net::NodeId> pending;
+  received[source] = true;
+  designated[source] = true;
+  pending.push(source);
+  result.delivered = 1;
+
+  while (!pending.empty()) {
+    const net::NodeId u = pending.front();
+    pending.pop();
+    if (transmitted[u]) continue;
+    transmitted[u] = true;
+    ++result.transmissions;
+
+    // The sender names its forwarding set from its own local knowledge.
+    const std::vector<net::NodeId> fwd =
+        scheme == Scheme::kFlooding
+            ? std::vector<net::NodeId>{}  // flooding designates everyone
+            : forwarding_set(g, u, scheme);
+
+    for (net::NodeId v : receivers_of(g, u, reception)) {
+      const bool named =
+          scheme == Scheme::kFlooding ||
+          std::binary_search(fwd.begin(), fwd.end(), v);
+      if (!received[v]) {
+        received[v] = true;
+        hops[v] = hops[u] + 1;
+        ++result.delivered;
+        result.max_hops = std::max(result.max_hops, hops[v]);
+      } else {
+        ++result.redundant_receptions;
+      }
+      if (named && !designated[v]) {
+        designated[v] = true;
+        if (!transmitted[v]) pending.push(v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mldcs::bcast

@@ -1,0 +1,81 @@
+#include "broadcast/coverage_gap.hpp"
+
+#include <algorithm>
+
+#include "broadcast/set_cover.hpp"
+
+namespace mldcs::bcast {
+
+CoverageGap skyline_coverage_gap(const net::DiskGraph& g, net::NodeId relay) {
+  const LocalView view = local_view(g, relay);
+  CoverageGap gap;
+  gap.forwarding_set = skyline_forwarding_set(g, view);
+  for (net::NodeId w : view.two_hop) {
+    bool covered = false;
+    for (net::NodeId v : gap.forwarding_set) {
+      if (g.linked(v, w)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) gap.uncovered.push_back(w);
+  }
+  return gap;
+}
+
+net::DiskGraph figure56_topology() {
+  // Distances: u-u1 = u-u2 = 0.8 <= 1 (linked);  u1-u4 = u2-u5 = 0.8 <= 1
+  // (linked); u-u4 = 1.6 > 1 (2-hop); u3 = (0, 0.5) with radius 4 swallows
+  // B(u,1), B(u1,1), B(u2,1); ||u3-u4|| = ||u3-u5|| ~ 1.676 > min(4,1) = 1,
+  // so u4/u5 are NOT linked to u3 even though u3's disk covers them.
+  std::vector<net::Node> nodes{
+      {0, {0.0, 0.0}, 1.0},    // u   (relay)
+      {1, {-0.8, 0.0}, 1.0},   // u1
+      {2, {0.8, 0.0}, 1.0},    // u2
+      {3, {0.0, 0.5}, 4.0},    // u3  (big disk, swallows everything)
+      {4, {-1.6, 0.0}, 1.0},   // u4  (2-hop via u1)
+      {5, {1.6, 0.0}, 1.0},    // u5  (2-hop via u2)
+  };
+  return net::DiskGraph::build(std::move(nodes));
+}
+
+std::vector<net::NodeId> patched_skyline_forwarding_set(
+    const net::DiskGraph& g, const LocalView& view) {
+  std::vector<net::NodeId> fwd = skyline_forwarding_set(g, view);
+
+  // Which 2-hop neighbors does the skyline set miss?
+  std::vector<std::uint32_t> missed;
+  for (std::uint32_t w = 0; w < view.two_hop.size(); ++w) {
+    bool covered = false;
+    for (net::NodeId v : fwd) {
+      if (g.linked(v, view.two_hop[w])) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) missed.push_back(w);
+  }
+  if (missed.empty()) return fwd;
+
+  // Greedy-cover the missed ones with 1-hop neighbors (restricted universe).
+  SetCoverInstance inst;
+  inst.universe_size = missed.size();
+  inst.sets.resize(view.one_hop.size());
+  for (std::size_t i = 0; i < view.one_hop.size(); ++i) {
+    const auto nb = g.neighbors(view.one_hop[i]);
+    for (std::uint32_t k = 0; k < missed.size(); ++k) {
+      if (std::binary_search(nb.begin(), nb.end(),
+                             view.two_hop[missed[k]])) {
+        inst.sets[i].push_back(k);
+      }
+    }
+  }
+  for (std::size_t i : greedy_set_cover(inst)) {
+    fwd.push_back(view.one_hop[i]);
+  }
+  std::sort(fwd.begin(), fwd.end());
+  fwd.erase(std::unique(fwd.begin(), fwd.end()), fwd.end());
+  return fwd;
+}
+
+}  // namespace mldcs::bcast

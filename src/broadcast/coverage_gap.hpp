@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file coverage_gap.hpp
+/// The Figure 5.6 phenomenon: in heterogeneous networks under bidirectional
+/// links, the skyline forwarding set — computed from 1-hop information
+/// alone — may fail to dominate the 2-hop neighborhood.  A large-radius
+/// neighbor can swallow every other disk (so the skyline set is just that
+/// neighbor), yet some 2-hop neighbors are linked only to the swallowed
+/// small-radius neighbors.  The paper leaves fixing this to future work; we
+/// provide the canonical construction, a detector, and (as an extension) a
+/// repaired scheme that patches the skyline set with greedy cover of the
+/// missed 2-hop neighbors.
+
+#include <vector>
+
+#include "broadcast/forwarding.hpp"
+#include "net/disk_graph.hpp"
+
+namespace mldcs::bcast {
+
+/// Result of checking a relay's skyline forwarding set against its 2-hop
+/// neighborhood.
+struct CoverageGap {
+  std::vector<net::NodeId> forwarding_set;  ///< the skyline forwarding set
+  std::vector<net::NodeId> uncovered;       ///< 2-hop neighbors no member links to
+  [[nodiscard]] bool exists() const noexcept { return !uncovered.empty(); }
+};
+
+/// Detect whether `relay`'s skyline forwarding set leaves 2-hop neighbors
+/// unreachable (no member of the set is graph-linked to them).
+[[nodiscard]] CoverageGap skyline_coverage_gap(const net::DiskGraph& g,
+                                               net::NodeId relay);
+
+/// The exact 6-node construction of Figure 5.6: relay u with 1-hop
+/// neighbors u1, u2, u3 and 2-hop neighbors u4 (via u1) and u5 (via u2);
+/// u3's big disk swallows every other disk so the skyline set is {u3}, but
+/// u4/u5 cannot hear back from... rather, cannot *link* to u3 (their radii
+/// are too small), so the optimal forwarding set is {u1, u2} while the
+/// skyline set misses both 2-hop neighbors.  Node ids: 0=u, 1=u1, 2=u2,
+/// 3=u3, 4=u4, 5=u5.
+[[nodiscard]] net::DiskGraph figure56_topology();
+
+/// Extension ("future work" repair): skyline forwarding set patched by a
+/// greedy cover of any 2-hop neighbors the skyline set misses.  Needs 2-hop
+/// information only for the patch step; identical to the skyline set when
+/// no gap exists.
+[[nodiscard]] std::vector<net::NodeId> patched_skyline_forwarding_set(
+    const net::DiskGraph& g, const LocalView& view);
+
+}  // namespace mldcs::bcast

@@ -1,0 +1,40 @@
+#include "broadcast/local_view.hpp"
+
+#include <algorithm>
+
+namespace mldcs::bcast {
+
+LocalView local_view(const net::DiskGraph& g, net::NodeId self) {
+  LocalView v;
+  v.self = self;
+  const auto nb = g.neighbors(self);
+  v.one_hop.assign(nb.begin(), nb.end());
+  v.two_hop = g.two_hop_neighbors(self);
+  return v;
+}
+
+std::vector<geom::Disk> local_disk_set(const net::DiskGraph& g,
+                                       const LocalView& view) {
+  std::vector<geom::Disk> disks;
+  disks.reserve(view.one_hop.size() + 1);
+  disks.push_back(g.node(view.self).disk());
+  for (net::NodeId v : view.one_hop) disks.push_back(g.node(v).disk());
+  return disks;
+}
+
+std::vector<std::vector<std::uint32_t>> two_hop_coverage(
+    const net::DiskGraph& g, const LocalView& view) {
+  std::vector<std::vector<std::uint32_t>> covers(view.one_hop.size());
+  for (std::size_t i = 0; i < view.one_hop.size(); ++i) {
+    const net::NodeId v = view.one_hop[i];
+    const auto nb = g.neighbors(v);
+    for (std::size_t w = 0; w < view.two_hop.size(); ++w) {
+      if (std::binary_search(nb.begin(), nb.end(), view.two_hop[w])) {
+        covers[i].push_back(static_cast<std::uint32_t>(w));
+      }
+    }
+  }
+  return covers;
+}
+
+}  // namespace mldcs::bcast

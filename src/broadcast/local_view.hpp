@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file local_view.hpp
+/// The local knowledge a relay node has when it selects its forwarding set:
+/// its 1-hop neighbors (positions + radii, from round-1 HELLOs) and, for the
+/// 2-hop schemes, its strict 2-hop neighborhood (from round-2 HELLOs).
+
+#include <vector>
+
+#include "geometry/disk.hpp"
+#include "net/disk_graph.hpp"
+#include "net/node.hpp"
+
+namespace mldcs::bcast {
+
+/// Snapshot of what node `self` knows about its neighborhood.
+struct LocalView {
+  net::NodeId self = net::kNoNode;
+  std::vector<net::NodeId> one_hop;  ///< sorted 1-hop neighbor ids
+  std::vector<net::NodeId> two_hop;  ///< sorted strict 2-hop neighbor ids
+};
+
+/// Extract the local view of `self` from the ground-truth graph (equivalent
+/// to what two HELLO rounds deliver; the hello module's tables are tested to
+/// agree with this).
+[[nodiscard]] LocalView local_view(const net::DiskGraph& g, net::NodeId self);
+
+/// The local disk set of `self` in the paper's sense: disk 0 is self's own
+/// coverage disk, disks 1..k are the 1-hop neighbors' disks, in the order of
+/// `view.one_hop`.  Valid by the bidirectional-link rule: every neighbor's
+/// disk contains self's position.
+[[nodiscard]] std::vector<geom::Disk> local_disk_set(const net::DiskGraph& g,
+                                                     const LocalView& view);
+
+/// Which 2-hop neighbors each 1-hop neighbor can deliver to:
+/// covers[i] lists indices into view.two_hop adjacent (bidirectional) to
+/// view.one_hop[i].
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> two_hop_coverage(
+    const net::DiskGraph& g, const LocalView& view);
+
+}  // namespace mldcs::bcast

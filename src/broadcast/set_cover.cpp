@@ -1,0 +1,277 @@
+#include "broadcast/set_cover.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <limits>
+
+namespace mldcs::bcast {
+
+namespace {
+
+/// Fixed-width dynamic bitset over the universe.
+using Mask = std::vector<std::uint64_t>;
+
+Mask make_mask(std::size_t universe) {
+  return Mask((universe + 63) / 64, 0);
+}
+
+void set_bit(Mask& m, std::uint32_t i) { m[i >> 6] |= 1ULL << (i & 63); }
+
+bool test_bit(const Mask& m, std::uint32_t i) {
+  return (m[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+void or_into(Mask& dst, const Mask& src) {
+  for (std::size_t w = 0; w < dst.size(); ++w) dst[w] |= src[w];
+}
+
+/// popcount(src & ~covered): how many new elements src would add.
+std::size_t new_coverage(const Mask& src, const Mask& covered) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < src.size(); ++w) {
+    n += static_cast<std::size_t>(std::popcount(src[w] & ~covered[w]));
+  }
+  return n;
+}
+
+bool is_subset(const Mask& a, const Mask& b) {  // a subset of b
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    if (a[w] & ~b[w]) return false;
+  }
+  return true;
+}
+
+bool mask_equal(const Mask& a, const Mask& b) { return a == b; }
+
+std::size_t popcount_mask(const Mask& m) {
+  std::size_t n = 0;
+  for (std::uint64_t w : m) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::vector<Mask> candidate_masks(const SetCoverInstance& inst) {
+  std::vector<Mask> masks(inst.sets.size(), make_mask(inst.universe_size));
+  for (std::size_t i = 0; i < inst.sets.size(); ++i) {
+    for (std::uint32_t e : inst.sets[i]) set_bit(masks[i], e);
+  }
+  return masks;
+}
+
+Mask coverable_mask(const std::vector<Mask>& masks, std::size_t universe) {
+  Mask all = make_mask(universe);
+  for (const Mask& m : masks) or_into(all, m);
+  return all;
+}
+
+}  // namespace
+
+bool covers_universe(const SetCoverInstance& inst,
+                     const std::vector<std::size_t>& chosen) {
+  const auto masks = candidate_masks(inst);
+  const Mask target = coverable_mask(masks, inst.universe_size);
+  Mask got = make_mask(inst.universe_size);
+  for (std::size_t i : chosen) {
+    if (i >= masks.size()) return false;
+    or_into(got, masks[i]);
+  }
+  return mask_equal(got, target);
+}
+
+std::vector<std::size_t> greedy_set_cover(const SetCoverInstance& inst) {
+  const auto masks = candidate_masks(inst);
+  const Mask target = coverable_mask(masks, inst.universe_size);
+  Mask covered = make_mask(inst.universe_size);
+  std::vector<std::size_t> chosen;
+
+  while (!mask_equal(covered, target)) {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      const std::size_t gain = new_coverage(masks[i], covered);
+      if (gain > best_gain) {  // ties -> smallest index, by scan order
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best_gain == 0) break;  // defensive; target is coverable by union
+    chosen.push_back(best);
+    or_into(covered, masks[best]);
+  }
+  return chosen;
+}
+
+std::vector<std::size_t> optimal_set_cover(const SetCoverInstance& inst) {
+  const std::size_t n = inst.sets.size();
+  auto masks = candidate_masks(inst);
+  const Mask target = coverable_mask(masks, inst.universe_size);
+  const std::size_t universe = inst.universe_size;
+
+  if (popcount_mask(target) == 0) return {};
+
+  // --- Reduction 1: drop dominated candidates (mask_i subset of mask_j).
+  // Keep the earlier index when two candidates tie exactly.
+  std::vector<std::size_t> alive;  // original indices of surviving candidates
+  for (std::size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < n && !dominated; ++j) {
+      if (i == j) continue;
+      if (!is_subset(masks[i], masks[j])) continue;
+      if (mask_equal(masks[i], masks[j])) {
+        dominated = j < i;  // among equals only the first survives
+      } else {
+        dominated = true;
+      }
+    }
+    if (!dominated) alive.push_back(i);
+  }
+
+  std::vector<Mask> live_masks;
+  live_masks.reserve(alive.size());
+  for (std::size_t i : alive) live_masks.push_back(masks[i]);
+
+  // --- Reduction 2: forced candidates (sole coverer of some element),
+  // applied iteratively on the live set.
+  Mask covered = make_mask(universe);
+  std::vector<std::size_t> forced;  // indices into `alive`
+  std::vector<bool> taken(alive.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t e = 0; e < universe; ++e) {
+      if (!test_bit(target, e) || test_bit(covered, e)) continue;
+      std::size_t sole = std::numeric_limits<std::size_t>::max();
+      int count = 0;
+      for (std::size_t k = 0; k < live_masks.size() && count < 2; ++k) {
+        if (!taken[k] && test_bit(live_masks[k], e)) {
+          sole = k;
+          ++count;
+        }
+      }
+      if (count == 1 && !taken[sole]) {
+        taken[sole] = true;
+        forced.push_back(sole);
+        or_into(covered, live_masks[sole]);
+        changed = true;
+      }
+    }
+  }
+
+  // --- Upper bound from greedy on the residual problem.
+  std::vector<std::size_t> best;  // indices into `alive`
+  {
+    Mask gc = covered;
+    best = forced;
+    while (!mask_equal(gc, target)) {
+      std::size_t pick = std::numeric_limits<std::size_t>::max();
+      std::size_t gain = 0;
+      for (std::size_t k = 0; k < live_masks.size(); ++k) {
+        const std::size_t g = new_coverage(live_masks[k], gc);
+        if (g > gain) {
+          gain = g;
+          pick = k;
+        }
+      }
+      if (gain == 0) break;
+      best.push_back(pick);
+      or_into(gc, live_masks[pick]);
+    }
+  }
+
+  // --- Branch and bound on the hardest (fewest-coverers) element.
+  std::size_t max_set_size = 1;
+  for (const Mask& m : live_masks) {
+    max_set_size = std::max(max_set_size, popcount_mask(m));
+  }
+
+  std::vector<std::size_t> chosen = forced;
+  const std::function<void(Mask&)> dfs = [&](Mask& cov) {
+    if (mask_equal(cov, target)) {
+      if (chosen.size() < best.size()) best = chosen;
+      return;
+    }
+    const std::size_t uncovered = popcount_mask(target) - popcount_mask(cov);
+    const std::size_t lb = (uncovered + max_set_size - 1) / max_set_size;
+    if (chosen.size() + lb >= best.size()) return;
+
+    // Element with the fewest remaining coverers.
+    std::uint32_t pivot = 0;
+    std::size_t fewest = std::numeric_limits<std::size_t>::max();
+    for (std::uint32_t e = 0; e < universe; ++e) {
+      if (!test_bit(target, e) || test_bit(cov, e)) continue;
+      std::size_t c = 0;
+      for (std::size_t k = 0; k < live_masks.size(); ++k) {
+        if (test_bit(live_masks[k], e)) ++c;
+      }
+      if (c < fewest) {
+        fewest = c;
+        pivot = e;
+      }
+    }
+    if (fewest == 0 || fewest == std::numeric_limits<std::size_t>::max())
+      return;  // uncoverable residue (cannot happen: target is coverable)
+
+    // Branch on coverers of the pivot, largest marginal gain first.
+    std::vector<std::size_t> coverers;
+    for (std::size_t k = 0; k < live_masks.size(); ++k) {
+      if (test_bit(live_masks[k], pivot)) coverers.push_back(k);
+    }
+    std::sort(coverers.begin(), coverers.end(),
+              [&](std::size_t a, std::size_t b) {
+                return new_coverage(live_masks[a], cov) >
+                       new_coverage(live_masks[b], cov);
+              });
+    for (std::size_t k : coverers) {
+      Mask next = cov;
+      or_into(next, live_masks[k]);
+      chosen.push_back(k);
+      dfs(next);
+      chosen.pop_back();
+    }
+  };
+  Mask cov0 = covered;
+  dfs(cov0);
+
+  // Map live indices back to original candidate indices.
+  std::vector<std::size_t> out;
+  out.reserve(best.size());
+  for (std::size_t k : best) out.push_back(alive[k]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> bruteforce_set_cover(const SetCoverInstance& inst) {
+  const auto masks = candidate_masks(inst);
+  const Mask target = coverable_mask(masks, inst.universe_size);
+  const std::size_t n = inst.sets.size();
+  if (popcount_mask(target) == 0) return {};
+
+  std::vector<std::size_t> combo;
+  std::vector<std::size_t> found;
+  const std::function<bool(std::size_t, std::size_t)> rec =
+      [&](std::size_t start, std::size_t remaining) -> bool {
+    if (remaining == 0) {
+      Mask got = make_mask(inst.universe_size);
+      for (std::size_t i : combo) or_into(got, masks[i]);
+      if (mask_equal(got, target)) {
+        found = combo;
+        return true;
+      }
+      return false;
+    }
+    for (std::size_t i = start; i + remaining <= n + 0 && i < n; ++i) {
+      combo.push_back(i);
+      if (rec(i + 1, remaining - 1)) return true;
+      combo.pop_back();
+    }
+    return false;
+  };
+
+  for (std::size_t k = 0; k <= n; ++k) {
+    combo.clear();
+    if (rec(0, k)) return found;
+  }
+  return found;  // unreachable for coverable targets
+}
+
+}  // namespace mldcs::bcast

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file arc.hpp
+/// The 4-parameter arc representation of the paper (Figure 3.4).
+///
+/// A skyline arc is written (alpha_i, u_j, r_j, alpha_{i+1}): the disk
+/// contributing the arc plus the two endpoint angles *measured at the relay
+/// `o`* (not at the disk center).  We store the disk by index into the local
+/// disk set, which both avoids duplicating geometry and lets the skyline set
+/// be read off as the set of indices appearing in the arc list.  Arcs never
+/// cross the +x axis: following the paper's convention, an arc spanning
+/// 2*pi is split so that every arc satisfies 0 <= start < end <= 2*pi.
+
+#include <cstddef>
+#include <ostream>
+
+#include "geometry/angle.hpp"
+
+namespace mldcs::core {
+
+/// One skyline arc: the piece of disk `disk`'s boundary visible from the
+/// relay between ray angles [start, end].
+struct Arc {
+  double start = 0.0;      ///< start angle at `o`, in [0, 2*pi)
+  double end = 0.0;        ///< end angle at `o`, in (0, 2*pi]; start < end
+  std::size_t disk = 0;    ///< index of the contributing disk in the local set
+
+  /// Angular width of the arc.
+  [[nodiscard]] constexpr double span() const noexcept { return end - start; }
+
+  /// Midpoint angle; used by Merge to evaluate which of two aligned arcs is
+  /// outermost on a span.
+  [[nodiscard]] constexpr double mid() const noexcept {
+    return 0.5 * (start + end);
+  }
+
+  /// True if ray angle `theta` (already normalized to [0, 2*pi)) falls in
+  /// the closed arc span.
+  [[nodiscard]] constexpr bool covers(double theta,
+                                      double tol = geom::kAngleTol) const noexcept {
+    return theta >= start - tol && theta <= end + tol;
+  }
+
+  friend constexpr bool operator==(const Arc&, const Arc&) noexcept = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Arc& a) {
+  return os << "arc[" << a.start << ", d" << a.disk << ", " << a.end << ']';
+}
+
+}  // namespace mldcs::core

@@ -1,0 +1,151 @@
+#include "core/merge.hpp"
+
+#include "core/skyline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "geometry/angle.hpp"
+#include "geometry/circle_intersect.hpp"
+#include "geometry/radial.hpp"
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::core {
+
+using geom::kAngleTol;
+using geom::kTwoPi;
+
+std::size_t outer_disk_at(std::span<const geom::Disk> disks, geom::Vec2 o,
+                          double theta, std::size_t i, std::size_t j) noexcept {
+  const double ri = geom::radial_distance(disks[i], o, theta);
+  const double rj = geom::radial_distance(disks[j], o, theta);
+  if (ri > rj + geom::kTol) return i;
+  if (rj > ri + geom::kTol) return j;
+  // Radial tie: prefer the larger disk radius, then the smaller index, so
+  // every algorithm in the library resolves degeneracies identically.
+  if (disks[i].radius > disks[j].radius + geom::kTol) return i;
+  if (disks[j].radius > disks[i].radius + geom::kTol) return j;
+  return std::min(i, j);
+}
+
+namespace {
+
+/// Resolve one aligned span [alpha, beta] on which skyline 1 shows disk `i`
+/// and skyline 2 shows disk `j` (paper Merge Step 2, Cases 1-3).  Appends
+/// the winning arcs to `out`.
+void resolve_span(double alpha, double beta, std::size_t i, std::size_t j,
+                  std::span<const geom::Disk> disks, geom::Vec2 o,
+                  std::vector<Arc>& out, MergeStats* stats) {
+  if (i == j) {
+    out.push_back({alpha, beta, i});
+    return;
+  }
+
+  // Sub-breakpoints: angles (at o) of the circle-circle intersection points
+  // that fall strictly inside (alpha, beta).  Because o is inside both
+  // disks, a point p lies on both boundaries iff the two radial functions
+  // agree at theta = angle(p - o) — so these are exactly the transversal
+  // crossings of the two arcs.  Degenerate extra: when o sits exactly ON a
+  // disk boundary, that disk's rho is 0 on a half circle and the winner can
+  // also flip at its zero-transition angles (which are not intersection
+  // points); those are added as cut candidates too.
+  std::array<double, 6> cuts{};
+  std::size_t n_cuts = 0;
+  const auto add_cut = [&](geom::Vec2 p) {
+    if (geom::distance2(p, o) <= geom::kTol * geom::kTol) return;  // p == o
+    const double ang = geom::normalize_angle((p - o).angle());
+    if (ang > alpha + kAngleTol && ang < beta - kAngleTol) {
+      cuts[n_cuts++] = ang;
+    }
+  };
+  const auto isect =
+      geom::intersect_circles(disks[i], disks[j], geom::kTol);
+  if (stats != nullptr) ++stats->circle_intersections;
+  if (isect.relation != geom::CircleRelation::kCoincident) {
+    for (int k = 0; k < isect.count; ++k) {
+      add_cut(isect.points[static_cast<std::size_t>(k)]);
+    }
+  }
+  // (Coincident circles never cross transversally; the tie-break inside
+  // outer_disk_at picks one of them for the whole span.)
+  for (const std::size_t disk : {i, j}) {
+    double zeros[2];
+    const int nz = geom::radial_zero_transitions(disks[disk], o, zeros);
+    for (int k = 0; k < nz; ++k) {
+      if (zeros[k] > alpha + kAngleTol && zeros[k] < beta - kAngleTol) {
+        cuts[n_cuts++] = zeros[k];
+      }
+    }
+  }
+  // Tiny insertion sort: n_cuts <= 6, and GCC 12's -Warray-bounds trips on
+  // std::sort's insertion threshold for small fixed arrays.
+  for (std::size_t a = 1; a < n_cuts; ++a) {
+    const double v = cuts[a];
+    std::size_t b = a;
+    while (b > 0 && cuts[b - 1] > v) {
+      cuts[b] = cuts[b - 1];
+      --b;
+    }
+    cuts[b] = v;
+  }
+
+  double lo = alpha;
+  for (std::size_t k = 0; k <= n_cuts; ++k) {
+    const double hi = (k == n_cuts) ? beta : cuts[k];
+    if (hi - lo > kAngleTol) {
+      const std::size_t winner =
+          outer_disk_at(disks, o, 0.5 * (lo + hi), i, j);
+      out.push_back({lo, hi, winner});
+      if (stats != nullptr) ++stats->arcs_emitted;
+    }
+    lo = hi;
+  }
+}
+
+}  // namespace
+
+std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
+                                std::span<const Arc> sl2,
+                                std::span<const geom::Disk> disks,
+                                geom::Vec2 o, MergeStats* stats) {
+  if (sl1.empty()) return {sl2.begin(), sl2.end()};
+  if (sl2.empty()) return {sl1.begin(), sl1.end()};
+
+  // Step 1 (refinement): the union of both breakpoint sequences, deduped.
+  std::vector<double> breaks;
+  breaks.reserve(sl1.size() + sl2.size() + 1);
+  for (const Arc& a : sl1) breaks.push_back(a.start);
+  for (const Arc& a : sl2) breaks.push_back(a.start);
+  breaks.push_back(kTwoPi);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) {
+                             return b - a <= kAngleTol;
+                           }),
+               breaks.end());
+  if (breaks.front() > kAngleTol) breaks.insert(breaks.begin(), 0.0);
+  else breaks.front() = 0.0;
+  breaks.back() = kTwoPi;
+
+  // Step 2: walk both arc lists in lockstep over the refined spans.
+  std::vector<Arc> out;
+  out.reserve(breaks.size() + 4);
+  std::size_t p1 = 0;
+  std::size_t p2 = 0;
+  for (std::size_t k = 0; k + 1 < breaks.size(); ++k) {
+    const double alpha = breaks[k];
+    const double beta = breaks[k + 1];
+    const double mid = 0.5 * (alpha + beta);
+    while (p1 + 1 < sl1.size() && sl1[p1].end <= mid) ++p1;
+    while (p2 + 1 < sl2.size() && sl2[p2].end <= mid) ++p2;
+    if (stats != nullptr) ++stats->spans;
+    resolve_span(alpha, beta, sl1[p1].disk, sl2[p2].disk, disks, o, out,
+                 stats);
+  }
+
+  // Step 3: coalesce neighboring same-disk arcs and restore the invariants.
+  return normalize_arcs(std::move(out));
+}
+
+}  // namespace mldcs::core

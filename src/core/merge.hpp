@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file merge.hpp
+/// The `Merge` procedure of the paper's divide-and-conquer algorithm
+/// (Section 3.4): combine two skylines of disjoint sub-sets of the local
+/// disk set into the skyline of their union.
+///
+/// Step 1 refines both arc lists onto the union of their breakpoint angles;
+/// Step 2 resolves each aligned span by the three cases (no crossing, one
+/// crossing, two crossings — crossings are circle-circle intersection points
+/// whose angle at `o` falls inside the span); Step 3 coalesces neighboring
+/// arcs contributed by the same disk.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/arc.hpp"
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+
+namespace mldcs::core {
+
+/// Instrumentation for complexity experiments (Theorem 9 / Lemma 8 benches).
+struct MergeStats {
+  std::uint64_t spans = 0;                 ///< aligned spans processed
+  std::uint64_t circle_intersections = 0;  ///< circle-pair intersections computed
+  std::uint64_t arcs_emitted = 0;          ///< arcs before Step-3 coalescing
+};
+
+/// Merge two well-formed arc lists over the same local disk set `disks`
+/// around relay `o`.  Either input may be empty (the other is returned).
+/// The result is well-formed (normalized).  `stats`, when non-null, is
+/// accumulated into.
+[[nodiscard]] std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
+                                              std::span<const Arc> sl2,
+                                              std::span<const geom::Disk> disks,
+                                              geom::Vec2 o,
+                                              MergeStats* stats = nullptr);
+
+/// Decide which of two disks is the outer one at ray angle `theta`, with the
+/// library tie-break (larger radial distance; ties -> larger disk radius,
+/// then smaller index).  Exposed for tests.
+[[nodiscard]] std::size_t outer_disk_at(std::span<const geom::Disk> disks,
+                                        geom::Vec2 o, double theta,
+                                        std::size_t i, std::size_t j) noexcept;
+
+}  // namespace mldcs::core

@@ -1,0 +1,34 @@
+#include "core/skyline_dc.hpp"
+
+#include <vector>
+
+#include "geometry/angle.hpp"
+
+namespace mldcs::core {
+
+namespace {
+
+/// Skyline of the index range [lo, hi) of `disks`.
+std::vector<Arc> skyline_range(std::span<const geom::Disk> disks,
+                               geom::Vec2 o, std::size_t lo, std::size_t hi,
+                               MergeStats* stats) {
+  if (hi - lo == 1) {
+    // Base case: a single disk's boundary is one full-circle arc, split at
+    // the +x axis by convention (here: one arc [0, 2*pi]).
+    return {Arc{0.0, geom::kTwoPi, lo}};
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::vector<Arc> left = skyline_range(disks, o, lo, mid, stats);
+  const std::vector<Arc> right = skyline_range(disks, o, mid, hi, stats);
+  return merge_skylines(left, right, disks, o, stats);
+}
+
+}  // namespace
+
+Skyline compute_skyline(std::span<const geom::Disk> disks, geom::Vec2 o,
+                        MergeStats* stats) {
+  if (disks.empty()) return Skyline{o, {}};
+  return Skyline{o, skyline_range(disks, o, 0, disks.size(), stats)};
+}
+
+}  // namespace mldcs::core

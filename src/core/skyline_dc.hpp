@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file skyline_dc.hpp
+/// The paper's divide-and-conquer `Skyline` procedure (Section 3.4):
+/// split the local disk set in half, recurse, and `Merge` the two partial
+/// skylines.  With Lemma 8 bounding every skyline of n disks to at most 2n
+/// arcs, Merge is O(n) and the whole algorithm is O(n log n) (Theorem 9) —
+/// optimal, since sorting reduces to local-disk-cover computation.
+
+#include <span>
+
+#include "core/merge.hpp"
+#include "core/skyline.hpp"
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+
+namespace mldcs::core {
+
+/// Compute the skyline of a local disk set around relay `o` with the
+/// divide-and-conquer algorithm.
+///
+/// Preconditions: every disk contains `o` (a *local* disk set; validated by
+/// the `mldcs()` entry point, assumed here).  Arc disk-indices in the result
+/// refer to positions in `disks`.
+///
+/// `stats`, when non-null, accumulates Merge instrumentation across all
+/// recursion levels.
+[[nodiscard]] Skyline compute_skyline(std::span<const geom::Disk> disks,
+                                      geom::Vec2 o,
+                                      MergeStats* stats = nullptr);
+
+}  // namespace mldcs::core

@@ -1,0 +1,69 @@
+#include "core/skyline_reference.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "geometry/angle.hpp"
+#include "geometry/circle_intersect.hpp"
+#include "geometry/radial.hpp"
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::core {
+
+using geom::kAngleTol;
+using geom::kTwoPi;
+
+Skyline compute_skyline_bruteforce(std::span<const geom::Disk> disks,
+                                   geom::Vec2 o) {
+  if (disks.empty()) return Skyline{o, {}};
+
+  // Candidate breakpoints: every circle-pair intersection angle at o, the
+  // zero-transition angles of boundary-touching disks (see
+  // radial_zero_transitions), plus the 0/2*pi seam.  The true skyline's
+  // breakpoints are a subset.
+  std::vector<double> breaks{0.0, kTwoPi};
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    for (std::size_t j = i + 1; j < disks.size(); ++j) {
+      const auto isect = geom::intersect_circles(disks[i], disks[j]);
+      for (int k = 0; k < isect.count; ++k) {
+        const geom::Vec2 p = isect.points[static_cast<std::size_t>(k)];
+        if (geom::distance2(p, o) <= geom::kTol * geom::kTol) continue;
+        breaks.push_back(geom::normalize_angle((p - o).angle()));
+      }
+    }
+    double zeros[2];
+    const int nz = geom::radial_zero_transitions(disks[i], o, zeros);
+    for (int k = 0; k < nz; ++k) breaks.push_back(zeros[k]);
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) { return b - a <= kAngleTol; }),
+               breaks.end());
+  breaks.front() = 0.0;
+  breaks.back() = kTwoPi;
+
+  // Between consecutive candidate breakpoints no two radial functions can
+  // cross, so a single midpoint argmax identifies the whole span's arc.
+  std::vector<Arc> arcs;
+  arcs.reserve(breaks.size());
+  for (std::size_t k = 0; k + 1 < breaks.size(); ++k) {
+    if (breaks[k + 1] - breaks[k] <= kAngleTol) continue;
+    const double mid = 0.5 * (breaks[k] + breaks[k + 1]);
+    const std::size_t winner = geom::radial_argmax(disks, o, mid);
+    arcs.push_back({breaks[k], breaks[k + 1], winner});
+  }
+  return Skyline{o, normalize_arcs(std::move(arcs))};
+}
+
+Skyline compute_skyline_incremental(std::span<const geom::Disk> disks,
+                                    geom::Vec2 o, MergeStats* stats) {
+  if (disks.empty()) return Skyline{o, {}};
+  std::vector<Arc> acc{Arc{0.0, kTwoPi, 0}};
+  for (std::size_t i = 1; i < disks.size(); ++i) {
+    const std::vector<Arc> single{Arc{0.0, kTwoPi, i}};
+    acc = merge_skylines(acc, single, disks, o, stats);
+  }
+  return Skyline{o, std::move(acc)};
+}
+
+}  // namespace mldcs::core

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file skyline_reference.hpp
+/// Reference skyline computations used to cross-validate the O(n log n)
+/// divide-and-conquer algorithm.
+///
+/// 1. `compute_skyline_bruteforce` shares *no* code with Merge: it collects
+///    every circle-pair intersection angle as a candidate breakpoint and
+///    evaluates the radial argmax at each span midpoint — O(n^2 log n + n^3)
+///    but unimpeachably simple.
+/// 2. `compute_skyline_incremental` inserts disks one at a time by merging
+///    each disk's full-circle arc into the running skyline — O(n^2); it
+///    exercises Merge on maximally unbalanced inputs and is also the
+///    baseline for the Theorem 9 scaling benchmark.
+
+#include <span>
+
+#include "core/merge.hpp"
+#include "core/skyline.hpp"
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+
+namespace mldcs::core {
+
+/// O(n^2 log n)-breakpoint, O(n)-per-span brute-force upper envelope.
+/// Same preconditions and output conventions as compute_skyline().
+[[nodiscard]] Skyline compute_skyline_bruteforce(
+    std::span<const geom::Disk> disks, geom::Vec2 o);
+
+/// Incremental insertion skyline (merge one disk at a time).
+[[nodiscard]] Skyline compute_skyline_incremental(
+    std::span<const geom::Disk> disks, geom::Vec2 o,
+    MergeStats* stats = nullptr);
+
+}  // namespace mldcs::core

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file validate.hpp
+/// Independent checks of skyline and cover-set correctness, used by the
+/// test suites and by the figure benches as online sanity checks.
+///
+/// These validators deliberately avoid the Merge machinery: they compare
+/// radial envelopes point-wise and construct the Theorem 3 exclusive-
+/// coverage witnesses directly, so a bug in Merge cannot hide from them.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/skyline.hpp"
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+
+namespace mldcs::core {
+
+/// Maximum absolute difference between the skyline's implied radial function
+/// and the true upper envelope max_i rho_i, over `samples` equally spaced
+/// angles.  A correct skyline yields ~0 (within tolerance).
+[[nodiscard]] double max_radial_error(const Skyline& sky,
+                                      std::span<const geom::Disk> disks,
+                                      std::size_t samples = 4096);
+
+/// True if the subset of disks indexed by `subset` covers the same area as
+/// all of `disks`: the subset's radial envelope equals the full envelope at
+/// `samples` angles (sufficient for local disk sets by Corollary 2 star-
+/// shapedness, up to sampling resolution).
+[[nodiscard]] bool is_disk_cover_set(std::span<const std::size_t> subset,
+                                     std::span<const geom::Disk> disks,
+                                     geom::Vec2 o, std::size_t samples = 4096,
+                                     double tol = 1e-7);
+
+/// Theorem 3 witness: a point exclusively covered by `disks[i]` (inside it,
+/// outside every other disk), or nullopt if disk i contributes no skyline
+/// arc.  Constructed as the paper does: take an interior point of one of
+/// disk i's skyline arcs, nudged just inside the boundary.
+[[nodiscard]] std::optional<geom::Vec2> exclusive_coverage_witness(
+    const Skyline& sky, std::span<const geom::Disk> disks, std::size_t i);
+
+/// Structural + geometric verification of a computed skyline:
+/// well-formedness, every arc's disk is the radial argmax at the arc
+/// midpoint, and endpoints of adjacent arcs agree radially (continuity).
+/// Returns a description of the first failure, empty string if valid.
+[[nodiscard]] std::string verify_skyline(const Skyline& sky,
+                                         std::span<const geom::Disk> disks);
+
+}  // namespace mldcs::core

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file angle.hpp
+/// Angle arithmetic on the circle [0, 2*pi).
+///
+/// Skyline arcs are parameterized by angles measured at the relay node `o`
+/// counter-clockwise from the +x axis (paper Section 3.3, Figure 3.4).  The
+/// paper's convention of splitting any arc that crosses the +x axis means
+/// that once inputs are normalized, all arc endpoints satisfy
+/// 0 <= alpha_i < alpha_{i+1} <= 2*pi and no further wrap-around handling is
+/// needed downstream; these helpers implement that normalization plus the
+/// circular-interval membership tests used by Merge.
+
+#include <cmath>
+#include <numbers>
+
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::geom {
+
+inline constexpr double kPi = std::numbers::pi_v<double>;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi_v<double>;
+
+/// Map an arbitrary angle to [0, 2*pi).
+[[nodiscard]] inline double normalize_angle(double a) noexcept {
+  double r = std::fmod(a, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  // fmod of a tiny negative can round to exactly kTwoPi after the add.
+  if (r >= kTwoPi) r -= kTwoPi;
+  return r;
+}
+
+/// Map an arbitrary angle to (-pi, pi].
+[[nodiscard]] inline double normalize_angle_signed(double a) noexcept {
+  double r = std::fmod(a + kPi, kTwoPi);
+  if (r <= 0.0) r += kTwoPi;
+  return r - kPi;
+}
+
+/// Counter-clockwise sweep from `from` to `to`, in [0, 2*pi).
+[[nodiscard]] inline double ccw_span(double from, double to) noexcept {
+  return normalize_angle(to - from);
+}
+
+/// True if angle `a` lies in the counter-clockwise closed interval
+/// [lo, hi] where the interval is swept CCW from lo to hi.  All three are
+/// normalized first.  An interval with lo == hi is treated as the single
+/// point {lo} (the full circle is represented by [0, 2*pi] explicitly by
+/// callers, never by lo == hi).
+[[nodiscard]] inline bool angle_in_ccw_interval(double a, double lo, double hi,
+                                                double tol = kAngleTol) noexcept {
+  const double span = ccw_span(lo, hi);
+  const double off = ccw_span(lo, a);
+  return off <= span + tol || off >= kTwoPi - tol;
+}
+
+/// True if `a` lies strictly inside the CCW interval (lo, hi).
+[[nodiscard]] inline bool angle_strictly_inside(double a, double lo, double hi,
+                                                double tol = kAngleTol) noexcept {
+  const double span = ccw_span(lo, hi);
+  const double off = ccw_span(lo, a);
+  return off > tol && off < span - tol;
+}
+
+/// Angular coincidence test on the circle: true when a and b differ by a
+/// multiple of 2*pi within tolerance.
+[[nodiscard]] inline bool approx_equal_angle(double a, double b,
+                                             double tol = kAngleTol) noexcept {
+  const double d = normalize_angle(a - b);
+  return d <= tol || d >= kTwoPi - tol;
+}
+
+/// Degrees -> radians (test and example convenience).
+[[nodiscard]] constexpr double deg2rad(double deg) noexcept {
+  return deg * (std::numbers::pi_v<double> / 180.0);
+}
+
+/// Radians -> degrees.
+[[nodiscard]] constexpr double rad2deg(double rad) noexcept {
+  return rad * (180.0 / std::numbers::pi_v<double>);
+}
+
+}  // namespace mldcs::geom

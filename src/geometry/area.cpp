@@ -1,0 +1,63 @@
+#include "geometry/area.hpp"
+
+#include <cmath>
+
+#include "geometry/bbox.hpp"
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::geom {
+
+bool covered_by_union(std::span<const Disk> disks, Vec2 p, double tol) noexcept {
+  for (const Disk& d : disks) {
+    if (d.contains(p, tol)) return true;
+  }
+  return false;
+}
+
+double union_area_grid(std::span<const Disk> disks, std::uint32_t resolution) {
+  if (disks.empty() || resolution == 0) return 0.0;
+  const BBox box = bbox_of(disks);
+  const double dx = box.width() / resolution;
+  const double dy = box.height() / resolution;
+  if (dx <= 0.0 || dy <= 0.0) return 0.0;
+  std::uint64_t hits = 0;
+  for (std::uint32_t iy = 0; iy < resolution; ++iy) {
+    const double y = box.min.y + (static_cast<double>(iy) + 0.5) * dy;
+    for (std::uint32_t ix = 0; ix < resolution; ++ix) {
+      const double x = box.min.x + (static_cast<double>(ix) + 0.5) * dx;
+      if (covered_by_union(disks, {x, y}, 0.0)) ++hits;
+    }
+  }
+  return static_cast<double>(hits) * dx * dy;
+}
+
+namespace {
+
+/// Global antiderivative of rho(a)^2 where rho(a) = d cos a + sqrt(r^2 -
+/// d^2 sin^2 a) and a is measured from the disk-center direction:
+///   F(a) = (d^2/2) sin 2a + r^2 a
+///        + d sin a * sqrt(r^2 - d^2 sin^2 a) + r^2 asin((d/r) sin a).
+/// Continuous on all of R because |d sin a| <= d <= r for local disks.
+double rho2_antiderivative(double a, double d, double r) noexcept {
+  const double s = std::sin(a);
+  const double radicand = clamp(r * r - d * d * s * s, 0.0,
+                                r * r);
+  const double asin_arg = r > 0.0 ? clamp(d * s / r, -1.0, 1.0) : 0.0;
+  return 0.5 * d * d * std::sin(2.0 * a) + r * r * a +
+         d * s * std::sqrt(radicand) + r * r * std::asin(asin_arg);
+}
+
+}  // namespace
+
+double sector_area_under_disk(const Disk& d, Vec2 o, double theta0,
+                              double theta1) {
+  const Vec2 rel = d.center - o;
+  const double dist = rel.norm();
+  const double phi = rel.angle();
+  const double a0 = theta0 - phi;
+  const double a1 = theta1 - phi;
+  return 0.5 * (rho2_antiderivative(a1, dist, d.radius) -
+                rho2_antiderivative(a0, dist, d.radius));
+}
+
+}  // namespace mldcs::geom

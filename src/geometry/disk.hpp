@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file disk.hpp
+/// Closed disks B(c, r) — the coverage model of the paper (Section 3.1).
+///
+/// A node u_i with transmission radius r_i covers the closed disk
+/// B(u_i, r_i); a node u_j is covered by u_i iff u_j is in B(u_i, r_i).
+
+#include <ostream>
+
+#include "geometry/angle.hpp"
+#include "geometry/tolerance.hpp"
+#include "geometry/vec2.hpp"
+
+namespace mldcs::geom {
+
+/// A closed disk with center `center` and radius `radius` >= 0.
+struct Disk {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr Disk() = default;
+  constexpr Disk(Vec2 c, double r) noexcept : center(c), radius(r) {}
+  constexpr Disk(double cx, double cy, double r) noexcept
+      : center(cx, cy), radius(r) {}
+
+  friend constexpr bool operator==(const Disk&, const Disk&) noexcept = default;
+
+  /// True if point p lies in the closed disk (within tolerance).
+  [[nodiscard]] bool contains(Vec2 p, double tol = kTol) const noexcept {
+    return distance2(center, p) <= (radius + tol) * (radius + tol);
+  }
+
+  /// True if point p lies strictly inside the open disk.
+  [[nodiscard]] bool strictly_contains(Vec2 p, double tol = kTol) const noexcept {
+    const double rr = radius - tol;
+    return rr > 0.0 && distance2(center, p) < rr * rr;
+  }
+
+  /// True if point p lies on the boundary circle (within tolerance).
+  [[nodiscard]] bool on_boundary(Vec2 p, double tol = kTol) const noexcept {
+    return approx_equal(distance(center, p), radius, tol);
+  }
+
+  /// True if this disk contains the whole of `other` (within tolerance):
+  /// ||c1 - c2|| + r2 <= r1.
+  [[nodiscard]] bool contains_disk(const Disk& other,
+                                   double tol = kTol) const noexcept {
+    return distance(center, other.center) + other.radius <= radius + tol;
+  }
+
+  /// True if the two closed disks intersect: ||c1 - c2|| <= r1 + r2.
+  [[nodiscard]] bool intersects(const Disk& other,
+                                double tol = kTol) const noexcept {
+    const double s = radius + other.radius + tol;
+    return distance2(center, other.center) <= s * s;
+  }
+
+  /// Point on the boundary at angle `theta` (measured at the *disk center*).
+  [[nodiscard]] Vec2 boundary_point(double theta) const noexcept {
+    return center + radius * unit_at(theta);
+  }
+
+  /// Disk area pi r^2.
+  [[nodiscard]] double area() const noexcept { return kPi * radius * radius; }
+};
+
+/// Geometric coincidence of two disks under the library tolerance.
+[[nodiscard]] inline bool approx_equal(const Disk& a, const Disk& b,
+                                       double tol = kTol) noexcept {
+  return approx_equal(a.center, b.center, tol) &&
+         approx_equal(a.radius, b.radius, tol);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Disk& d) {
+  return os << "B(" << d.center << ", " << d.radius << ')';
+}
+
+}  // namespace mldcs::geom

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file segment.hpp
+/// Line segments and rays, used by Lemma 1 / Corollary 2 reasoning, the
+/// Figure 5.6 construction, and broadcast-simulation geometry checks.
+
+#include <optional>
+
+#include "geometry/disk.hpp"
+#include "geometry/tolerance.hpp"
+#include "geometry/vec2.hpp"
+
+namespace mldcs::geom {
+
+/// A closed line segment between two endpoints.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const noexcept { return distance(a, b); }
+
+  /// Point at parameter t in [0,1] along the segment.
+  [[nodiscard]] constexpr Vec2 at(double t) const noexcept {
+    return lerp(a, b, t);
+  }
+
+  /// Squared distance from point p to the segment.
+  [[nodiscard]] double distance2_to(Vec2 p) const noexcept {
+    const Vec2 ab = b - a;
+    const double len2 = ab.norm2();
+    if (len2 <= kTol * kTol) return distance2(a, p);
+    const double t = clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+    return distance2(at(t), p);
+  }
+
+  /// Distance from point p to the segment.
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept {
+    return std::sqrt(distance2_to(p));
+  }
+
+  /// True if the whole segment lies in the closed disk `d`.  Because disks
+  /// are convex this holds iff both endpoints are inside — the fact behind
+  /// Lemma 1.
+  [[nodiscard]] bool inside_disk(const Disk& d, double tol = kTol) const noexcept {
+    return d.contains(a, tol) && d.contains(b, tol);
+  }
+};
+
+/// A ray (half line) from `origin` in direction `dir` (need not be unit).
+struct Ray {
+  Vec2 origin;
+  Vec2 dir;
+
+  /// Point at parameter t >= 0 along the ray (t in units of ||dir||).
+  [[nodiscard]] constexpr Vec2 at(double t) const noexcept {
+    return origin + dir * t;
+  }
+};
+
+/// Intersection parameters (sorted, t >= 0, in units of ||ray.dir||) of a
+/// ray with a circle boundary.  Returns how many of `t0 <= t1` are valid
+/// (0, 1, or 2).
+struct RayCircleHits {
+  int count = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// Intersect a ray with the boundary of disk `d`.
+[[nodiscard]] inline RayCircleHits intersect_ray_circle(const Ray& ray,
+                                                        const Disk& d,
+                                                        double tol = kTol) noexcept {
+  RayCircleHits out;
+  const Vec2 m = ray.origin - d.center;
+  const double aa = ray.dir.norm2();
+  if (aa <= tol * tol) return out;
+  const double bb = 2.0 * m.dot(ray.dir);
+  const double cc = m.norm2() - d.radius * d.radius;
+  const double disc = bb * bb - 4.0 * aa * cc;
+  if (disc < -tol) return out;
+  const double sq = std::sqrt(clamp(disc, 0.0, disc));
+  const double inv = 1.0 / (2.0 * aa);
+  double lo = (-bb - sq) * inv;
+  double hi = (-bb + sq) * inv;
+  if (hi < -tol) return out;
+  if (lo >= -tol) {
+    out.count = 2;
+    out.t0 = std::max(lo, 0.0);
+    out.t1 = std::max(hi, 0.0);
+    if (approx_equal(out.t0, out.t1, tol)) out.count = 1;
+  } else {
+    out.count = 1;
+    out.t0 = std::max(hi, 0.0);
+    out.t1 = out.t0;
+  }
+  return out;
+}
+
+}  // namespace mldcs::geom

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file tolerance.hpp
+/// Central numeric tolerance policy for the geometry subsystem.
+///
+/// All approximate comparisons in the library flow through these helpers so
+/// that the divide-and-conquer skyline, the incremental reference skyline,
+/// and the brute-force envelope agree bit-for-bit on which disks are treated
+/// as coincident, tangent, or crossing.  Scattering ad-hoc epsilons across
+/// call sites is the classic way computational-geometry codes diverge; a
+/// single policy keeps every algorithm on the same side of each degeneracy.
+
+#include <cmath>
+
+namespace mldcs::geom {
+
+/// Absolute tolerance for coordinate/length comparisons.
+///
+/// The paper's deployments live in a 12.5 x 12.5 square with radii in [1,2],
+/// so all coordinates are O(10) and double precision carries ~1e-15 relative
+/// error; 1e-9 absolute is comfortably above accumulated rounding noise and
+/// comfortably below any feature size the algorithms must distinguish.
+inline constexpr double kTol = 1e-9;
+
+/// Tolerance for angles in radians.  Angles are derived from atan2 of O(10)
+/// coordinates, so their error budget matches kTol scaled by typical radii.
+inline constexpr double kAngleTol = 1e-9;
+
+/// True if |a - b| <= tol (absolute comparison; suitable for the bounded
+/// coordinate ranges this library works in).
+[[nodiscard]] constexpr bool approx_equal(double a, double b,
+                                          double tol = kTol) noexcept {
+  const double d = a - b;
+  return (d <= tol) && (-d <= tol);
+}
+
+/// True if a is approximately zero.
+[[nodiscard]] constexpr bool approx_zero(double a, double tol = kTol) noexcept {
+  return (a <= tol) && (-a <= tol);
+}
+
+/// True if a < b by more than tol (a is *definitely* less).
+[[nodiscard]] constexpr bool definitely_less(double a, double b,
+                                             double tol = kTol) noexcept {
+  return a < b - tol;
+}
+
+/// True if a > b by more than tol (a is *definitely* greater).
+[[nodiscard]] constexpr bool definitely_greater(double a, double b,
+                                                double tol = kTol) noexcept {
+  return a > b + tol;
+}
+
+/// True if a <= b within tolerance.
+[[nodiscard]] constexpr bool approx_leq(double a, double b,
+                                        double tol = kTol) noexcept {
+  return a <= b + tol;
+}
+
+/// True if a >= b within tolerance.
+[[nodiscard]] constexpr bool approx_geq(double a, double b,
+                                        double tol = kTol) noexcept {
+  return a >= b - tol;
+}
+
+/// Clamp x into [lo, hi]; used to guard sqrt/acos arguments that drift a few
+/// ulps outside their mathematical domain.
+[[nodiscard]] constexpr double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace mldcs::geom

@@ -1,0 +1,87 @@
+#include "geometry/triangle.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::geom {
+
+TriangleKind Triangle::classify(double tol) const noexcept {
+  if (degenerate(tol)) return TriangleKind::kDegenerate;
+  // Sort squared side lengths; the triangle is obtuse/right/acute according
+  // to the sign of (a^2 + b^2 - c^2) for the longest side c.
+  double s0 = distance2(b, c);
+  double s1 = distance2(a, c);
+  double s2 = distance2(a, b);
+  if (s0 < s1) std::swap(s0, s1);
+  if (s0 < s2) std::swap(s0, s2);
+  // Now s0 is the largest squared side.
+  const double margin = s1 + s2 - s0;
+  if (approx_zero(margin, tol)) return TriangleKind::kRight;
+  return margin > 0.0 ? TriangleKind::kAcute : TriangleKind::kObtuse;
+}
+
+std::optional<Vec2> Triangle::circumcenter(double tol) const noexcept {
+  const double d = 2.0 * signed_area2();
+  if (std::fabs(d) <= tol) return std::nullopt;
+  const double a2 = a.norm2();
+  const double b2 = b.norm2();
+  const double c2 = c.norm2();
+  const double ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  const double uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  return Vec2{ux, uy};
+}
+
+std::optional<double> Triangle::circumradius(double tol) const noexcept {
+  const auto o = circumcenter(tol);
+  if (!o) return std::nullopt;
+  return distance(*o, a);
+}
+
+std::optional<Vec2> Triangle::orthocenter(double tol) const noexcept {
+  const auto o = circumcenter(tol);
+  if (!o) return std::nullopt;
+  // Euler line: H = A + B + C - 2 O.
+  return a + b + c - 2.0 * (*o);
+}
+
+bool Triangle::contains(Vec2 p, double tol) const noexcept {
+  const double d1 = (b - a).cross(p - a);
+  const double d2 = (c - b).cross(p - b);
+  const double d3 = (a - c).cross(p - c);
+  const bool has_neg = (d1 < -tol) || (d2 < -tol) || (d3 < -tol);
+  const bool has_pos = (d1 > tol) || (d2 > tol) || (d3 > tol);
+  return !(has_neg && has_pos);
+}
+
+std::optional<std::array<Disk, 3>> lemma6_circles(const Triangle& t,
+                                                  double radius,
+                                                  double tol) noexcept {
+  if (t.degenerate(tol)) return std::nullopt;
+
+  const std::array<std::pair<Vec2, Vec2>, 3> edges{{
+      {t.a, t.b},
+      {t.b, t.c},
+      {t.c, t.a},
+  }};
+  const std::array<Vec2, 3> opposite{t.c, t.a, t.b};
+
+  std::array<Disk, 3> out;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Vec2 p = edges[i].first;
+    const Vec2 q = edges[i].second;
+    const Vec2 mid = midpoint(p, q);
+    const double half = 0.5 * distance(p, q);
+    if (radius < half - tol) return std::nullopt;
+    const double h = std::sqrt(clamp(radius * radius - half * half, 0.0,
+                                     radius * radius));
+    Vec2 n = (q - p).perp().normalized();
+    // Put the center on the side of pq away from the opposite vertex.
+    if (n.dot(opposite[i] - mid) > 0.0) n = -n;
+    out[i] = Disk(mid + h * n, radius);
+  }
+  return out;
+}
+
+}  // namespace mldcs::geom

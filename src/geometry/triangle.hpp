@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file triangle.hpp
+/// Triangle utilities backing the paper's Chapter 4 lemmas.
+///
+/// Lemma 6 (three circles with the triangle's edges as chords, circumradius
+/// radius, centers outside, meet at the orthocenter), Corollary 7 (with
+/// radius larger than the circumradius they have empty common intersection),
+/// and the Case 1/Case 2 analysis of Lemma 8 all reason about circumradius,
+/// orthocenter, and acute/right/obtuse classification.  These helpers are
+/// exercised directly by the property-test suite.
+
+#include <array>
+#include <optional>
+
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+
+namespace mldcs::geom {
+
+/// Angle classification of a triangle by its largest angle.
+enum class TriangleKind { kAcute, kRight, kObtuse, kDegenerate };
+
+struct Triangle {
+  Vec2 a, b, c;
+
+  /// Twice the signed area (positive when a,b,c are counter-clockwise).
+  [[nodiscard]] constexpr double signed_area2() const noexcept {
+    return (b - a).cross(c - a);
+  }
+
+  /// Unsigned area.
+  [[nodiscard]] double area() const noexcept {
+    return 0.5 * std::fabs(signed_area2());
+  }
+
+  /// True if the three vertices are (nearly) collinear.
+  [[nodiscard]] bool degenerate(double tol = kTol) const noexcept {
+    return std::fabs(signed_area2()) <= tol;
+  }
+
+  /// Classify by the largest angle, using squared side lengths (no trig).
+  [[nodiscard]] TriangleKind classify(double tol = kTol) const noexcept;
+
+  /// Circumcenter; nullopt for degenerate triangles.
+  [[nodiscard]] std::optional<Vec2> circumcenter(double tol = kTol) const noexcept;
+
+  /// Circumradius; nullopt for degenerate triangles.
+  [[nodiscard]] std::optional<double> circumradius(double tol = kTol) const noexcept;
+
+  /// Orthocenter (intersection of the altitudes); nullopt for degenerate
+  /// triangles.  Uses the Euler-line identity H = A + B + C - 2*O where O is
+  /// the circumcenter.
+  [[nodiscard]] std::optional<Vec2> orthocenter(double tol = kTol) const noexcept;
+
+  /// True if point p lies inside or on the triangle.
+  [[nodiscard]] bool contains(Vec2 p, double tol = kTol) const noexcept;
+};
+
+/// The three "Lemma 6" circles of a (non-degenerate) triangle: for each edge,
+/// the circle with that edge as a chord, radius `radius`, and center on the
+/// side of the edge *away* from the opposite vertex (i.e. outside the
+/// triangle).  Precondition: radius >= half the edge length for every edge.
+/// Returns nullopt when the precondition fails or the triangle is degenerate.
+[[nodiscard]] std::optional<std::array<Disk, 3>> lemma6_circles(
+    const Triangle& t, double radius, double tol = kTol) noexcept;
+
+}  // namespace mldcs::geom

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file vec2.hpp
+/// Minimal 2-D point/vector type used throughout the library.
+///
+/// The paper models wireless nodes as points in R^2 (Section 3.1); every
+/// subsystem (geometry, skyline core, disk graphs, broadcast simulation)
+/// shares this one representation.
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <ostream>
+
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::geom {
+
+/// A point or displacement in the Euclidean plane.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) noexcept : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+
+  constexpr Vec2& operator+=(Vec2 o) noexcept {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  /// Exact component-wise comparison (used for container semantics; use
+  /// approx_equal(Vec2,Vec2) for geometric coincidence).
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept {
+    return x * o.x + y * o.y;
+  }
+
+  /// 2-D cross product (z-component of the 3-D cross product); positive when
+  /// `o` is counter-clockwise from `*this`.
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept {
+    return x * o.y - y * o.x;
+  }
+
+  /// Squared Euclidean norm.  Prefer this to norm() in comparisons to avoid
+  /// the sqrt.
+  [[nodiscard]] constexpr double norm2() const noexcept { return x * x + y * y; }
+
+  /// Euclidean norm ||v||.
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+
+  /// Angle of the vector measured counter-clockwise from the +x axis, in
+  /// (-pi, pi].  atan2(0,0) = 0 by convention.
+  [[nodiscard]] double angle() const noexcept { return std::atan2(y, x); }
+
+  /// Unit vector in the same direction.  Precondition: norm() > 0.
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return {x / n, y / n};
+  }
+
+  /// The vector rotated +90 degrees (counter-clockwise).
+  [[nodiscard]] constexpr Vec2 perp() const noexcept { return {-y, x}; }
+
+  /// The vector rotated by `theta` radians counter-clockwise.
+  [[nodiscard]] Vec2 rotated(double theta) const noexcept {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    return {x * c - y * s, x * s + y * c};
+  }
+};
+
+inline constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+/// Euclidean distance ||a - b||.
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+/// Squared distance ||a - b||^2.
+[[nodiscard]] constexpr double distance2(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm2();
+}
+
+/// Geometric coincidence test under the library tolerance.
+[[nodiscard]] inline bool approx_equal(Vec2 a, Vec2 b,
+                                       double tol = kTol) noexcept {
+  return approx_equal(a.x, b.x, tol) && approx_equal(a.y, b.y, tol);
+}
+
+/// Midpoint of segment ab.
+[[nodiscard]] constexpr Vec2 midpoint(Vec2 a, Vec2 b) noexcept {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// Linear interpolation a + t (b - a).
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Unit vector at angle `theta` from the +x axis.
+[[nodiscard]] inline Vec2 unit_at(double theta) noexcept {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace mldcs::geom

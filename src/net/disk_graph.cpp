@@ -1,0 +1,99 @@
+#include "net/disk_graph.hpp"
+
+#include <algorithm>
+
+#include "net/spatial_grid.hpp"
+
+namespace mldcs::net {
+
+DiskGraph DiskGraph::build(std::vector<Node> nodes) {
+  DiskGraph g;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].id = static_cast<NodeId>(i);
+  }
+  g.nodes_ = std::move(nodes);
+
+  double max_r = 0.0;
+  for (const Node& n : g.nodes_) max_r = std::max(max_r, n.radius);
+  const SpatialGrid grid(g.nodes_, std::max(max_r, 1e-6));
+
+  // A node's neighbors are within min(r_u, r_v) <= r_u of it, so querying
+  // the grid at range r_u and filtering by the bidirectional rule finds all
+  // of them.
+  g.offsets_.assign(g.nodes_.size() + 1, 0);
+  std::vector<std::vector<NodeId>> adj(g.nodes_.size());
+  std::vector<NodeId> scratch;
+  for (const Node& u : g.nodes_) {
+    scratch.clear();
+    grid.query(u.pos, u.radius, u.id, scratch);
+    for (NodeId v : scratch) {
+      if (u.linked_to(g.nodes_[v])) adj[u.id].push_back(v);
+    }
+    std::sort(adj[u.id].begin(), adj[u.id].end());
+  }
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    g.offsets_[i] = static_cast<std::uint32_t>(total);
+    total += adj[i].size();
+  }
+  g.offsets_[adj.size()] = static_cast<std::uint32_t>(total);
+  g.adjacency_.reserve(total);
+  for (const auto& list : adj) {
+    g.adjacency_.insert(g.adjacency_.end(), list.begin(), list.end());
+  }
+  return g;
+}
+
+std::span<const NodeId> DiskGraph::neighbors(NodeId id) const noexcept {
+  return {adjacency_.data() + offsets_[id],
+          adjacency_.data() + offsets_[id + 1]};
+}
+
+bool DiskGraph::linked(NodeId u, NodeId v) const noexcept {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<NodeId> DiskGraph::two_hop_neighbors(NodeId id) const {
+  const auto one_hop = neighbors(id);
+  std::vector<NodeId> out;
+  for (NodeId v : one_hop) {
+    for (NodeId w : neighbors(v)) {
+      if (w == id) continue;
+      if (std::binary_search(one_hop.begin(), one_hop.end(), w)) continue;
+      out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> DiskGraph::reachable_from(NodeId from) const {
+  std::vector<NodeId> out;
+  if (from >= nodes_.size()) return out;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    out.push_back(u);
+    for (NodeId v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool DiskGraph::connected() const {
+  if (nodes_.empty()) return true;
+  return reachable_from(0).size() == nodes_.size();
+}
+
+}  // namespace mldcs::net

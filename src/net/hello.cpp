@@ -1,0 +1,80 @@
+#include "net/hello.hpp"
+
+#include <algorithm>
+
+namespace mldcs::net {
+
+std::vector<NeighborTable> run_hello_round1(const DiskGraph& g) {
+  std::vector<NeighborTable> tables(g.size());
+  for (NodeId u = 0; u < g.size(); ++u) {
+    // u transmits; every bidirectional neighbor v receives and records u.
+    const Node& nu = g.node(u);
+    for (NodeId v : g.neighbors(u)) {
+      tables[v].one_hop.push_back(NeighborInfo{u, nu.pos, nu.radius});
+    }
+  }
+  for (auto& t : tables) {
+    std::sort(t.one_hop.begin(), t.one_hop.end(),
+              [](const NeighborInfo& a, const NeighborInfo& b) {
+                return a.id < b.id;
+              });
+  }
+  return tables;
+}
+
+void run_hello_round2(const DiskGraph& g, std::vector<NeighborTable>& tables) {
+  for (NodeId v = 0; v < g.size(); ++v) {
+    tables[v].via.assign(tables[v].one_hop.size(), {});
+  }
+  for (NodeId u = 0; u < g.size(); ++u) {
+    // u transmits its 1-hop list; each neighbor v files it under u's slot.
+    const auto& list = tables[u].one_hop;
+    for (NodeId v : g.neighbors(u)) {
+      auto& table = tables[v];
+      const auto it = std::lower_bound(
+          table.one_hop.begin(), table.one_hop.end(), u,
+          [](const NeighborInfo& a, NodeId id) { return a.id < id; });
+      if (it != table.one_hop.end() && it->id == u) {
+        table.via[static_cast<std::size_t>(
+            std::distance(table.one_hop.begin(), it))] = list;
+      }
+    }
+  }
+}
+
+HelloCost hello1_cost(const DiskGraph& g, const BeaconEncoding& enc) {
+  HelloCost c;
+  c.messages = g.size();
+  c.bytes = g.size() * enc.hello1_size();
+  return c;
+}
+
+HelloCost hello2_cost(const DiskGraph& g, const BeaconEncoding& enc) {
+  HelloCost c;
+  c.messages = g.size();
+  for (NodeId u = 0; u < g.size(); ++u) {
+    c.bytes += enc.hello2_size(g.degree(u));
+  }
+  return c;
+}
+
+std::vector<NodeId> two_hop_from_table(const NeighborTable& t, NodeId self) {
+  std::vector<NodeId> one_hop_ids;
+  one_hop_ids.reserve(t.one_hop.size());
+  for (const NeighborInfo& info : t.one_hop) one_hop_ids.push_back(info.id);
+
+  std::vector<NodeId> out;
+  for (const auto& list : t.via) {
+    for (const NeighborInfo& info : list) {
+      if (info.id == self) continue;
+      if (std::binary_search(one_hop_ids.begin(), one_hop_ids.end(), info.id))
+        continue;
+      out.push_back(info.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace mldcs::net

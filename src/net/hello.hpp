@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file hello.hpp
+/// HELLO-beacon neighbor discovery (Section 5.1 / 5.1.1).
+///
+/// The paper's cost argument: the skyline algorithm needs only 1-hop
+/// information (each node's position + radius, learned from plain HELLO
+/// beacons), while the selecting-forwarding-set / greedy / optimal schemes
+/// need 2-hop information, which requires each HELLO to carry the sender's
+/// full 1-hop neighbor list — larger beacons, and stale faster under
+/// mobility.  This module actually runs the beacon exchange (so integration
+/// tests can check the discovered tables against the ground-truth graph) and
+/// accounts messages and bytes for the `tbl_hello_overhead` bench.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/disk_graph.hpp"
+#include "net/node.hpp"
+
+namespace mldcs::net {
+
+/// On-air encoding sizes (bytes) for cost accounting.  Chosen to match a
+/// compact binary beacon: 4-byte id, two 8-byte coordinates, 8-byte radius.
+struct BeaconEncoding {
+  std::uint64_t id_bytes = 4;
+  std::uint64_t position_bytes = 16;
+  std::uint64_t radius_bytes = 8;
+
+  /// Size of a 1-hop HELLO: sender id + position + radius.
+  [[nodiscard]] std::uint64_t hello1_size() const noexcept {
+    return id_bytes + position_bytes + radius_bytes;
+  }
+
+  /// Size of a 2-hop HELLO: a 1-hop HELLO plus one (id, position, radius)
+  /// entry per 1-hop neighbor of the sender.
+  [[nodiscard]] std::uint64_t hello2_size(std::size_t neighbors) const noexcept {
+    return hello1_size() +
+           static_cast<std::uint64_t>(neighbors) *
+               (id_bytes + position_bytes + radius_bytes);
+  }
+};
+
+/// What one node knows about another from beacons.
+struct NeighborInfo {
+  NodeId id = kNoNode;
+  geom::Vec2 pos;
+  double radius = 0.0;
+};
+
+/// Per-node neighbor tables built by the exchange.
+struct NeighborTable {
+  std::vector<NeighborInfo> one_hop;                ///< sorted by id
+  std::vector<std::vector<NeighborInfo>> via;       ///< via[k]: 1-hop list of one_hop[k]
+};
+
+/// Aggregate beacon cost over the whole network for one beacon period.
+struct HelloCost {
+  std::uint64_t messages = 0;  ///< beacons transmitted
+  std::uint64_t bytes = 0;     ///< total payload bytes transmitted
+};
+
+/// Round 1: every node broadcasts a 1-hop HELLO; every node builds its
+/// 1-hop table from beacons it physically receives over a *bidirectional*
+/// link (consistent with the graph model).  Returns per-node tables with
+/// `via` left empty.
+[[nodiscard]] std::vector<NeighborTable> run_hello_round1(const DiskGraph& g);
+
+/// Round 2: every node re-broadcasts a HELLO carrying its 1-hop list;
+/// receivers fill in `via`, giving each node its 2-hop view.  Requires the
+/// round-1 tables.
+void run_hello_round2(const DiskGraph& g, std::vector<NeighborTable>& tables);
+
+/// Cost of one 1-hop beacon period (every node sends one hello1).
+[[nodiscard]] HelloCost hello1_cost(const DiskGraph& g,
+                                    const BeaconEncoding& enc = {});
+
+/// Cost of one 2-hop beacon period (every node sends one hello2 carrying
+/// its current 1-hop list).
+[[nodiscard]] HelloCost hello2_cost(const DiskGraph& g,
+                                    const BeaconEncoding& enc = {});
+
+/// Extract the 2-hop neighbor ids implied by a node's table (nodes seen in
+/// `via` lists that are neither the node itself nor 1-hop neighbors),
+/// sorted — for integration tests against DiskGraph::two_hop_neighbors.
+[[nodiscard]] std::vector<NodeId> two_hop_from_table(const NeighborTable& t,
+                                                     NodeId self);
+
+}  // namespace mldcs::net

@@ -1,0 +1,71 @@
+#include "net/io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace mldcs::net {
+
+void write_deployment(std::ostream& os, const std::vector<Node>& nodes,
+                      const std::string& comment) {
+  if (!comment.empty()) os << "# " << comment << '\n';
+  os << "# format: node <x> <y> <radius>;  ids are line order\n";
+  os << std::setprecision(17);
+  for (const Node& n : nodes) {
+    os << "node " << n.pos.x << ' ' << n.pos.y << ' ' << n.radius << '\n';
+  }
+}
+
+std::vector<Node> read_deployment(std::istream& is) {
+  std::vector<Node> nodes;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::istringstream fields(line);
+    std::string tag;
+    double x = 0.0, y = 0.0, r = 0.0;
+    if (!(fields >> tag >> x >> y >> r) || tag != "node") {
+      throw DeploymentParseError("line " + std::to_string(lineno) +
+                                 ": expected 'node <x> <y> <radius>', got '" +
+                                 line + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw DeploymentParseError("line " + std::to_string(lineno) +
+                                 ": trailing tokens after radius: '" + extra +
+                                 "'");
+    }
+    if (!std::isfinite(x) || !std::isfinite(y) || !std::isfinite(r)) {
+      throw DeploymentParseError("line " + std::to_string(lineno) +
+                                 ": non-finite coordinate or radius");
+    }
+    if (r < 0.0) {
+      throw DeploymentParseError("line " + std::to_string(lineno) +
+                                 ": negative radius " + std::to_string(r));
+    }
+    nodes.push_back(Node{static_cast<NodeId>(nodes.size()), {x, y}, r});
+  }
+  return nodes;
+}
+
+void save_deployment(const std::string& path, const std::vector<Node>& nodes,
+                     const std::string& comment) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_deployment(os, nodes, comment);
+}
+
+std::vector<Node> load_deployment(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_deployment(is);
+}
+
+}  // namespace mldcs::net

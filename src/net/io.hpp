@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text serialization of deployments and local disk sets.
+///
+/// Format (one record per line, '#' comments and blank lines ignored):
+///
+///     node <x> <y> <radius>
+///
+/// Node ids are assigned by position in the file (the DiskGraph convention).
+/// The same format serves local disk sets (first node = the relay).  Used
+/// by the mldcs_cli example and by bug-report reproduction workflows: any
+/// deployment a bench draws can be dumped, attached, and re-loaded.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace mldcs::net {
+
+/// Error thrown by the loader on malformed input; the message carries the
+/// line number and the offending text.
+class DeploymentParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Write nodes in the text format, with a provenance comment header.
+void write_deployment(std::ostream& os, const std::vector<Node>& nodes,
+                      const std::string& comment = {});
+
+/// Parse nodes from the text format.  Throws DeploymentParseError on
+/// malformed lines, non-finite values, or negative radii.
+[[nodiscard]] std::vector<Node> read_deployment(std::istream& is);
+
+/// Convenience: file-path overloads.  Throw std::runtime_error when the
+/// file cannot be opened.
+void save_deployment(const std::string& path, const std::vector<Node>& nodes,
+                     const std::string& comment = {});
+[[nodiscard]] std::vector<Node> load_deployment(const std::string& path);
+
+}  // namespace mldcs::net

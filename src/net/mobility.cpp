@@ -1,0 +1,59 @@
+#include "net/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mldcs::net {
+
+MobileNetwork::MobileNetwork(const DeploymentParams& deploy,
+                             const WaypointParams& move, sim::Xoshiro256& rng)
+    : nodes_(generate_deployment(deploy, rng)),
+      states_(nodes_.size()),
+      move_(move),
+      side_(deploy.side) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) redraw_waypoint(i, rng);
+}
+
+void MobileNetwork::redraw_waypoint(std::size_t i, sim::Xoshiro256& rng) {
+  states_[i].target = {rng.uniform(0.0, side_), rng.uniform(0.0, side_)};
+  states_[i].speed = rng.uniform(move_.v_min, move_.v_max);
+  states_[i].pause_left = 0.0;
+}
+
+void MobileNetwork::step(double dt, sim::Xoshiro256& rng) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    double remaining = dt;
+    WaypointState& st = states_[i];
+    Node& n = nodes_[i];
+    // A node may finish a pause, walk, arrive, pause, and redraw within one
+    // step; loop until the step's time budget is consumed.
+    while (remaining > 1e-12) {
+      if (st.pause_left > 0.0) {
+        const double wait = std::min(st.pause_left, remaining);
+        st.pause_left -= wait;
+        remaining -= wait;
+        if (st.pause_left <= 0.0) redraw_waypoint(i, rng);
+        continue;
+      }
+      const geom::Vec2 to_target = st.target - n.pos;
+      const double dist = to_target.norm();
+      const double reach = st.speed * remaining;
+      if (reach >= dist || dist < 1e-12) {
+        // Arrive this step: move to the waypoint, start the pause.  With a
+        // zero pause the next waypoint is drawn immediately, otherwise the
+        // while-loop would spin on an already-reached target.
+        n.pos = st.target;
+        travelled_ += dist;
+        remaining -= st.speed > 0.0 ? dist / st.speed : remaining;
+        st.pause_left = move_.pause;
+        if (st.pause_left <= 0.0) redraw_waypoint(i, rng);
+      } else {
+        n.pos += to_target * (reach / dist);
+        travelled_ += reach;
+        remaining = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace mldcs::net

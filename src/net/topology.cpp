@@ -1,0 +1,65 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+
+#include "geometry/angle.hpp"
+
+namespace mldcs::net {
+
+double expected_min_radius_sq(const DeploymentParams& p) noexcept {
+  switch (p.model) {
+    case RadiusModel::kHomogeneous:
+      return p.r_fixed * p.r_fixed;
+    case RadiusModel::kUniform: {
+      // For R1, R2 ~ U[a,b] iid, M = min has density f(m) = 2(b-m)/(b-a)^2,
+      // so E[M^2] = Int_a^b m^2 * 2(b-m)/(b-a)^2 dm
+      //           = (2 b (b^3 - a^3) / 3 - (b^4 - a^4) / 2) / (b-a)^2.
+      const double a = p.r_min;
+      const double b = p.r_max;
+      const double w = b - a;
+      if (w <= 0.0) return a * a;  // degenerate uniform == homogeneous
+      return (2.0 * b * (b * b * b - a * a * a) / 3.0 -
+              (b * b * b * b - a * a * a * a) / 2.0) /
+             (w * w);
+    }
+  }
+  return p.r_fixed * p.r_fixed;
+}
+
+std::size_t node_count_for(const DeploymentParams& p) noexcept {
+  const double area = p.side * p.side;
+  const double per_node = geom::kPi * expected_min_radius_sq(p);
+  const double count = area / per_node * p.target_avg_degree;
+  return static_cast<std::size_t>(std::llround(count));
+}
+
+double draw_radius(const DeploymentParams& p, sim::Xoshiro256& rng) noexcept {
+  switch (p.model) {
+    case RadiusModel::kHomogeneous:
+      return p.r_fixed;
+    case RadiusModel::kUniform:
+      return rng.uniform(p.r_min, p.r_max);
+  }
+  return p.r_fixed;
+}
+
+std::vector<Node> generate_deployment(const DeploymentParams& p,
+                                      sim::Xoshiro256& rng) {
+  const std::size_t extra = node_count_for(p);
+  std::vector<Node> nodes;
+  nodes.reserve(extra + 1);
+  // Node 0: the source, at the center of the deployment region.
+  nodes.push_back(Node{0, {p.side * 0.5, p.side * 0.5}, draw_radius(p, rng)});
+  for (std::size_t i = 0; i < extra; ++i) {
+    const geom::Vec2 pos{rng.uniform(0.0, p.side), rng.uniform(0.0, p.side)};
+    nodes.push_back(
+        Node{static_cast<NodeId>(i + 1), pos, draw_radius(p, rng)});
+  }
+  return nodes;
+}
+
+DiskGraph generate_graph(const DeploymentParams& p, sim::Xoshiro256& rng) {
+  return DiskGraph::build(generate_deployment(p, rng));
+}
+
+}  // namespace mldcs::net

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file topology.hpp
+/// Random deployments reproducing the Chapter 5 simulation setup:
+/// nodes uniform over a 12.5 x 12.5 square, a source node at the center,
+/// homogeneous (r = 1) or heterogeneous (r ~ U[1, 2]) radii, and node
+/// counts calibrated so the *average 1-hop degree* equals the sweep value n.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/disk_graph.hpp"
+#include "net/node.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::net {
+
+/// Radius model for a deployment.
+enum class RadiusModel {
+  kHomogeneous,    ///< every node has radius `r_fixed` (Section 5.1.1: 1.0)
+  kUniform,        ///< radius ~ U[r_min, r_max] per node (Section 5.1.2: [1,2])
+};
+
+/// Parameters of a Chapter 5 deployment.
+struct DeploymentParams {
+  double side = 12.5;            ///< deployment square side length
+  RadiusModel model = RadiusModel::kHomogeneous;
+  double r_fixed = 1.0;          ///< homogeneous radius
+  double r_min = 1.0;            ///< heterogeneous lower bound
+  double r_max = 2.0;            ///< heterogeneous upper bound
+  double target_avg_degree = 10; ///< the paper's x-axis value n
+};
+
+/// E[min(R_1, R_2)^2] for two independent radii under the model — the
+/// quantity that sets expected degree under the bidirectional-link rule
+/// (a uniform pair at distance d links iff d <= min(r1, r2), so
+/// E[degree] = density * pi * E[min^2]).  For kHomogeneous this is
+/// r_fixed^2; for kUniform over [1,2] it evaluates to 11/6.
+[[nodiscard]] double expected_min_radius_sq(const DeploymentParams& p) noexcept;
+
+/// Number of non-source nodes to deploy so the average degree matches
+/// `target_avg_degree`:  round(side^2 / (pi * E[min^2]) * n)  — the paper's
+/// (12.5^2 / (pi r^2)) * n generalized to heterogeneous radii.
+[[nodiscard]] std::size_t node_count_for(const DeploymentParams& p) noexcept;
+
+/// Draw one radius under the model.
+[[nodiscard]] double draw_radius(const DeploymentParams& p,
+                                 sim::Xoshiro256& rng) noexcept;
+
+/// Generate one deployment: node 0 is the source at the center of the
+/// square (radius drawn from the same model, as in Section 5.1.2:
+/// "including the source node"); node_count_for(p) further nodes uniform
+/// over the square.
+[[nodiscard]] std::vector<Node> generate_deployment(const DeploymentParams& p,
+                                                    sim::Xoshiro256& rng);
+
+/// Generate + build the disk graph in one step.
+[[nodiscard]] DiskGraph generate_graph(const DeploymentParams& p,
+                                       sim::Xoshiro256& rng);
+
+}  // namespace mldcs::net

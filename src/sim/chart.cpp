@@ -1,0 +1,164 @@
+#include "sim/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "sim/table.hpp"
+
+namespace mldcs::sim {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+}  // namespace
+
+void render_line_chart(std::ostream& os, std::span<const Series> series,
+                       const std::string& title, const std::string& x_label,
+                       const std::string& y_label, std::size_t width,
+                       std::size_t height) {
+  os << title << '\n';
+  if (series.empty() || width == 0 || height == 0) {
+    os << "(no data)\n";
+    return;
+  }
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = 0.0;  // the paper's y axes start at 0
+  double ymax = -std::numeric_limits<double>::infinity();
+  for (const Series& s : series) {
+    for (double x : s.xs) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+    }
+    for (double y : s.ys) ymax = std::max(ymax, y);
+  }
+  if (!(xmax > xmin)) xmax = xmin + 1.0;
+  if (!(ymax > ymin)) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  const auto to_col = [&](double x) {
+    const double t = (x - xmin) / (xmax - xmin);
+    return std::min(width - 1,
+                    static_cast<std::size_t>(t * static_cast<double>(width - 1) +
+                                             0.5));
+  };
+  const auto to_row = [&](double y) {
+    const double t = (y - ymin) / (ymax - ymin);
+    const std::size_t r = std::min(
+        height - 1,
+        static_cast<std::size_t>(t * static_cast<double>(height - 1) + 0.5));
+    return height - 1 - r;  // row 0 is the top
+  };
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    const Series& ser = series[s];
+    const std::size_t n = std::min(ser.xs.size(), ser.ys.size());
+    // Draw connecting line segments by dense parametric sampling, then the
+    // data points on top.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (int step = 0; step <= 32; ++step) {
+        const double t = static_cast<double>(step) / 32.0;
+        const double x = ser.xs[i] + t * (ser.xs[i + 1] - ser.xs[i]);
+        const double y = ser.ys[i] + t * (ser.ys[i + 1] - ser.ys[i]);
+        char& cell = canvas[to_row(y)][to_col(x)];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      canvas[to_row(ser.ys[i])][to_col(ser.xs[i])] = glyph;
+    }
+  }
+
+  // y-axis labels on the left.
+  const int label_w = 8;
+  for (std::size_t r = 0; r < height; ++r) {
+    std::ostringstream lbl;
+    if (r % 4 == 0 || r + 1 == height) {
+      const double y =
+          ymax - (ymax - ymin) * static_cast<double>(r) /
+                     static_cast<double>(height - 1);
+      lbl << std::fixed << std::setprecision(1) << y;
+    }
+    os << std::setw(label_w) << lbl.str() << " |" << canvas[r] << '\n';
+  }
+  os << std::string(static_cast<std::size_t>(label_w) + 1, ' ') << '+'
+     << std::string(width, '-') << '\n';
+  {
+    std::ostringstream xl, xr;
+    xl << std::fixed << std::setprecision(1) << xmin;
+    xr << std::fixed << std::setprecision(1) << xmax;
+    const std::string left = xl.str();
+    const std::string right = xr.str();
+    os << std::string(static_cast<std::size_t>(label_w) + 2, ' ') << left;
+    if (width > left.size() + right.size()) {
+      os << std::string(width - left.size() - right.size(), ' ');
+    }
+    os << right << '\n';
+  }
+  os << "  x: " << x_label << "   y: " << y_label << '\n';
+  os << "  legend:";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << "  [" << kGlyphs[s % sizeof(kGlyphs)] << "] " << series[s].name;
+  }
+  os << '\n';
+}
+
+void render_histogram(std::ostream& os, const IntHistogram& hist,
+                      const std::string& title, std::size_t max_bar) {
+  os << title << '\n';
+  if (hist.total() == 0) {
+    os << "(empty)\n";
+    return;
+  }
+  std::uint64_t peak = 0;
+  for (std::uint64_t v = hist.min_value(); v <= hist.max_value(); ++v) {
+    peak = std::max(peak, hist.count(v));
+  }
+  for (std::uint64_t v = hist.min_value(); v <= hist.max_value(); ++v) {
+    const std::uint64_t c = hist.count(v);
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(c) / static_cast<double>(peak) *
+                        static_cast<double>(max_bar) + 0.5);
+    os << std::setw(4) << v << " | " << std::string(bar, '#') << ' ' << c
+       << '\n';
+  }
+}
+
+void render_histogram_table(std::ostream& os,
+                            std::span<const std::string> names,
+                            std::span<const IntHistogram> hists,
+                            const std::string& title) {
+  os << title << '\n';
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t hi = 0;
+  for (const auto& h : hists) {
+    if (h.total() == 0) continue;
+    lo = std::min(lo, h.min_value());
+    hi = std::max(hi, h.max_value());
+  }
+  if (lo > hi) {
+    os << "(empty)\n";
+    return;
+  }
+
+  std::vector<std::string> header{"#fwd"};
+  for (const auto& n : names) header.push_back(n);
+  Table t(std::move(header));
+  for (std::uint64_t v = lo; v <= hi; ++v) {
+    std::vector<std::string> row{std::to_string(v)};
+    for (const auto& h : hists) row.push_back(std::to_string(h.count(v)));
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+}
+
+}  // namespace mldcs::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file chart.hpp
+/// ASCII renderings of the paper's figures: multi-series line charts
+/// (Figures 5.1, 5.4) and grouped histograms (Figures 5.2, 5.3, 5.5).
+/// These exist so a bench binary's stdout *is* the figure — shape, ordering
+/// of curves and crossovers are visible without any plotting toolchain.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/histogram.hpp"
+
+namespace mldcs::sim {
+
+/// One named series of (x, y) points for a line chart.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Render a multi-series line chart as ASCII art.  Each series is drawn
+/// with its own glyph; a legend is printed below.  Width/height are the
+/// plot-area dimensions in characters.
+void render_line_chart(std::ostream& os, std::span<const Series> series,
+                       const std::string& title, const std::string& x_label,
+                       const std::string& y_label, std::size_t width = 72,
+                       std::size_t height = 24);
+
+/// Render a histogram as a horizontal ASCII bar chart: one row per integer
+/// bin in [min_value, max_value], bar length proportional to count.
+void render_histogram(std::ostream& os, const IntHistogram& hist,
+                      const std::string& title, std::size_t max_bar = 60);
+
+/// Render several histograms side by side as a table: rows = bin values,
+/// one column per named histogram (the layout of Figures 5.2/5.3/5.5).
+void render_histogram_table(std::ostream& os,
+                            std::span<const std::string> names,
+                            std::span<const IntHistogram> hists,
+                            const std::string& title);
+
+}  // namespace mldcs::sim

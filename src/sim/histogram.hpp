@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Integer-bin histograms for the distribution figures (5.2, 5.3, 5.5):
+/// "x-axis = number of forwarding nodes, y-axis = number of random point
+/// sets".
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mldcs::sim {
+
+/// Histogram over non-negative integer values (forwarding-set sizes).
+class IntHistogram {
+ public:
+  void add(std::uint64_t value) {
+    if (value >= counts_.size()) counts_.resize(value + 1, 0);
+    ++counts_[value];
+    ++total_;
+  }
+
+  void add_all(std::span<const std::uint64_t> values) {
+    for (auto v : values) add(v);
+  }
+
+  /// Count in bin `value` (0 if past the end).
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Largest value with a nonzero count; 0 when empty.
+  [[nodiscard]] std::uint64_t max_value() const noexcept {
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+      if (counts_[i] != 0) return i;
+    }
+    return 0;
+  }
+
+  /// Smallest value with a nonzero count; 0 when empty.
+  [[nodiscard]] std::uint64_t min_value() const noexcept {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] != 0) return i;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      s += static_cast<double>(i) * static_cast<double>(counts_[i]);
+    }
+    return s / static_cast<double>(total_);
+  }
+
+  /// Mode (smallest bin among ties).
+  [[nodiscard]] std::uint64_t mode() const noexcept {
+    std::uint64_t best = 0, best_count = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > best_count) {
+        best = i;
+        best_count = counts_[i];
+      }
+    }
+    return best;
+  }
+
+  /// Number of trials with value strictly greater than `threshold` — used
+  /// for the Figure 5.3 note about flooding's tail above the plotted range.
+  [[nodiscard]] std::uint64_t count_above(std::uint64_t threshold) const noexcept {
+    std::uint64_t s = 0;
+    for (std::size_t i = threshold + 1; i < counts_.size(); ++i) s += counts_[i];
+    return s;
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> bins() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mldcs::sim

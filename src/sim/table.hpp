@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned ASCII tables + CSV emission.  Every figure bench prints its
+/// reproduced series both as a human-readable table and as `csv:`-prefixed
+/// machine-readable lines, so EXPERIMENTS.md numbers can be traced to a
+/// single run.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mldcs::sim {
+
+/// Simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric rows; values are formatted with `precision`
+  /// fractional digits.
+  void add_numeric_row(const std::vector<double>& row, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Emit as CSV lines, each prefixed with `prefix` (default "csv:") so the
+  /// data can be grepped out of mixed bench output.
+  void print_csv(std::ostream& os, const std::string& prefix = "csv:") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by benches).
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+}  // namespace mldcs::sim

@@ -1,0 +1,54 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+namespace mldcs::sim {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : workers_(threads != 0 ? threads
+                            : std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency())) {}
+
+ThreadPool::~ThreadPool() = default;
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t nthreads = std::min(workers_, n);
+  if (nthreads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+
+  // Static contiguous chunking: chunk t covers [t*n/T, (t+1)*n/T).  Chunk
+  // boundaries depend only on (n, T), keeping the schedule deterministic.
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    const std::size_t lo = t * n / nthreads;
+    const std::size_t hi = (t + 1) * n / nthreads;
+    threads.emplace_back([&, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  ThreadPool pool(threads);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace mldcs::sim

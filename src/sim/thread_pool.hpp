@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool plus a static-chunked parallel_for.
+///
+/// The Chapter 5 sweeps are embarrassingly parallel across (sweep point,
+/// trial) pairs; per the HPC guides we keep parallelism explicit and
+/// deterministic: work items are dealt out in fixed contiguous chunks
+/// (no work stealing, no shared RNG), so results are bitwise identical at
+/// any thread count.
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mldcs::sim {
+
+/// Fixed-size thread pool executing closures; joinable on destruction.
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_; }
+
+  /// Run `body(i)` for every i in [0, n), partitioned into `size()`
+  /// contiguous chunks executed concurrently.  Blocks until all complete.
+  /// Exceptions thrown by `body` are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  std::size_t workers_;
+};
+
+/// One-shot convenience: parallel_for on a transient pool (or inline when
+/// the machine has a single core — the common case for this repo's CI).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace mldcs::sim

@@ -1,0 +1,110 @@
+// Approximation-quality property tests: the classical guarantees the
+// heuristics are supposed to satisfy, checked against the exact optimum.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "broadcast/forwarding.hpp"
+#include "broadcast/set_cover.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace mldcs::bcast {
+namespace {
+
+TEST(ApproximationTest, GreedySetCoverWithinHarmonicBound) {
+  // Chvátal: |greedy| <= H(s_max) * |opt| with H(k) <= 1 + ln k, where
+  // s_max is the largest set size.
+  sim::Xoshiro256 rng(2025);
+  for (int trial = 0; trial < 60; ++trial) {
+    SetCoverInstance inst;
+    inst.universe_size = 6 + rng.uniform_int(10);
+    inst.sets.resize(4 + rng.uniform_int(8));
+    std::size_t s_max = 1;
+    for (auto& s : inst.sets) {
+      for (std::uint32_t e = 0; e < inst.universe_size; ++e) {
+        if (rng.uniform() < 0.3) s.push_back(e);
+      }
+      s_max = std::max(s_max, s.size());
+    }
+    const auto greedy = greedy_set_cover(inst);
+    const auto opt = optimal_set_cover(inst);
+    if (opt.empty()) continue;
+    const double bound =
+        (1.0 + std::log(static_cast<double>(s_max))) *
+        static_cast<double>(opt.size());
+    EXPECT_LE(static_cast<double>(greedy.size()), bound + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ApproximationTest, GreedyForwardingCloseToOptimalOnPaperWorkloads) {
+  // Empirically (Figures 5.1/5.4) greedy tracks the optimum within a few
+  // percent on the paper's deployments; lock that in as a regression bound
+  // with generous slack (ratio <= 1.5 on average).
+  for (const bool hetero : {false, true}) {
+    sim::RunningStats ratio;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      net::DeploymentParams p;
+      p.model = hetero ? net::RadiusModel::kUniform
+                       : net::RadiusModel::kHomogeneous;
+      p.target_avg_degree = 10;
+      sim::Xoshiro256 rng(sim::derive_seed(31337, seed));
+      const auto g = net::generate_graph(p, rng);
+      const LocalView view = local_view(g, 0);
+      const auto opt = optimal_forwarding_set(g, view);
+      if (opt.empty()) continue;
+      const auto greedy = greedy_forwarding_set(g, view);
+      ratio.add(static_cast<double>(greedy.size()) /
+                static_cast<double>(opt.size()));
+    }
+    EXPECT_GE(ratio.mean(), 1.0);
+    EXPECT_LE(ratio.mean(), 1.5) << "hetero=" << hetero;
+  }
+}
+
+TEST(ApproximationTest, CalinescuWithinConstantFactorOfOptimal) {
+  // The selecting-forwarding-set heuristic of [6] carries a constant
+  // approximation ratio; on the paper's homogeneous workloads the measured
+  // average ratio is small.  Bound it loosely (<= 2.0 mean, <= 4.0 worst).
+  sim::RunningStats ratio;
+  double worst = 0.0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    net::DeploymentParams p;
+    p.target_avg_degree = 10;
+    sim::Xoshiro256 rng(sim::derive_seed(41414, seed));
+    const auto g = net::generate_graph(p, rng);
+    const LocalView view = local_view(g, 0);
+    const auto opt = optimal_forwarding_set(g, view);
+    if (opt.empty()) continue;
+    const auto sel = calinescu_forwarding_set(g, view);
+    const double r = static_cast<double>(sel.size()) /
+                     static_cast<double>(opt.size());
+    ratio.add(r);
+    worst = std::max(worst, r);
+  }
+  EXPECT_LE(ratio.mean(), 2.0);
+  EXPECT_LE(worst, 4.0);
+}
+
+TEST(ApproximationTest, SkylineSizeIsDensityBounded) {
+  // The skyline of n random disks grows sublinearly in n (far below the
+  // 2n worst case); as a regression guard, at degree 20 the average
+  // skyline forwarding set must stay below half the flooding set.
+  sim::RunningStats flood, sky;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    net::DeploymentParams p;
+    p.target_avg_degree = 20;
+    sim::Xoshiro256 rng(sim::derive_seed(52525, seed));
+    const auto g = net::generate_graph(p, rng);
+    const LocalView view = local_view(g, 0);
+    flood.add(static_cast<double>(view.one_hop.size()));
+    sky.add(static_cast<double>(skyline_forwarding_set(g, view).size()));
+  }
+  EXPECT_LT(sky.mean(), 0.6 * flood.mean());
+}
+
+}  // namespace
+}  // namespace mldcs::bcast

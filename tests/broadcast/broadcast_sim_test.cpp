@@ -1,0 +1,130 @@
+// Tests for the network-wide broadcast simulator.
+
+#include "broadcast/broadcast_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::bcast {
+namespace {
+
+net::DiskGraph chain(std::size_t n) {
+  std::vector<net::Node> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back({static_cast<net::NodeId>(i),
+                     {static_cast<double>(i), 0.0},
+                     1.0});
+  }
+  return net::DiskGraph::build(std::move(nodes));
+}
+
+net::DiskGraph random_graph(std::uint64_t seed, double degree, bool hetero) {
+  net::DeploymentParams p;
+  p.target_avg_degree = degree;
+  p.model = hetero ? net::RadiusModel::kUniform : net::RadiusModel::kHomogeneous;
+  sim::Xoshiro256 rng(seed);
+  return net::generate_graph(p, rng);
+}
+
+TEST(BroadcastSimTest, SingleNodeBroadcast) {
+  const auto g = net::DiskGraph::build({{0, {0, 0}, 1.0}});
+  const auto r = simulate_broadcast(g, 0, Scheme::kFlooding);
+  EXPECT_EQ(r.transmissions, 1u);
+  EXPECT_EQ(r.delivered, 1u);
+  EXPECT_EQ(r.reachable, 1u);
+  EXPECT_TRUE(r.full_delivery());
+  EXPECT_EQ(r.max_hops, 0u);
+}
+
+TEST(BroadcastSimTest, InvalidSourceYieldsEmptyResult) {
+  const auto g = chain(3);
+  const auto r = simulate_broadcast(g, 99, Scheme::kFlooding);
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.transmissions, 0u);
+}
+
+TEST(BroadcastSimTest, FloodingReachesWholeChainWithNTransmissions) {
+  const auto g = chain(6);
+  const auto r = simulate_broadcast(g, 0, Scheme::kFlooding);
+  EXPECT_EQ(r.delivered, 6u);
+  EXPECT_TRUE(r.full_delivery());
+  EXPECT_EQ(r.transmissions, 6u);  // flooding: everyone retransmits
+  EXPECT_EQ(r.max_hops, 5u);
+}
+
+TEST(BroadcastSimTest, HopCountIsGraphDistance) {
+  const auto g = chain(5);
+  const auto r = simulate_broadcast(g, 2, Scheme::kFlooding);
+  EXPECT_EQ(r.max_hops, 2u);  // middle node: farthest end is 2 hops
+}
+
+TEST(BroadcastSimTest, DisconnectedNodesNotDelivered) {
+  const auto g = net::DiskGraph::build(
+      {{0, {0, 0}, 1.0}, {1, {1, 0}, 1.0}, {2, {9, 9}, 1.0}});
+  const auto r = simulate_broadcast(g, 0, Scheme::kFlooding);
+  EXPECT_EQ(r.delivered, 2u);
+  EXPECT_EQ(r.reachable, 2u);
+  EXPECT_TRUE(r.full_delivery());
+  EXPECT_DOUBLE_EQ(r.delivery_ratio(), 1.0);
+}
+
+TEST(BroadcastSimTest, GreedyDeliversEverywhereWithFewerTransmissions) {
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    const auto g = random_graph(seed, 10, false);
+    const auto flood = simulate_broadcast(g, 0, Scheme::kFlooding);
+    const auto greedy = simulate_broadcast(g, 0, Scheme::kGreedy);
+    EXPECT_TRUE(flood.full_delivery());
+    EXPECT_TRUE(greedy.full_delivery())
+        << "greedy 2-hop cover guarantees network-wide delivery";
+    EXPECT_LE(greedy.transmissions, flood.transmissions);
+    EXPECT_EQ(greedy.delivered, flood.delivered);
+  }
+}
+
+TEST(BroadcastSimTest, SkylineDeliversEverywhereInHomogeneousNetworks) {
+  // In homogeneous networks coverage == linkage, so the skyline set
+  // dominates the 2-hop neighborhood and the broadcast completes.
+  for (std::uint64_t seed = 120; seed < 126; ++seed) {
+    const auto g = random_graph(seed, 10, false);
+    const auto r = simulate_broadcast(g, 0, Scheme::kSkyline);
+    EXPECT_TRUE(r.full_delivery()) << "seed " << seed;
+  }
+}
+
+TEST(BroadcastSimTest, FloodingNeverBeatenOnDeliveryByAnyScheme) {
+  for (std::uint64_t seed = 130; seed < 134; ++seed) {
+    const auto g = random_graph(seed, 8, true);
+    const auto flood = simulate_broadcast(g, 0, Scheme::kFlooding);
+    for (Scheme s : {Scheme::kSkyline, Scheme::kGreedy}) {
+      const auto r = simulate_broadcast(g, 0, s);
+      EXPECT_LE(r.delivered, flood.delivered);
+      EXPECT_LE(r.transmissions, flood.transmissions);
+    }
+  }
+}
+
+TEST(BroadcastSimTest, PhysicalReceptionReachesCoveredNonNeighbors) {
+  // Big node 0 covers node 1 but they are not linked; physical reception
+  // still delivers, link reception does not.
+  const auto g = net::DiskGraph::build({{0, {0, 0}, 5.0}, {1, {2, 0}, 1.0}});
+  const auto link = simulate_broadcast(g, 0, Scheme::kFlooding,
+                                       ReceptionModel::kBidirectionalLink);
+  const auto phys = simulate_broadcast(g, 0, Scheme::kFlooding,
+                                       ReceptionModel::kPhysicalCoverage);
+  EXPECT_EQ(link.delivered, 1u);
+  EXPECT_EQ(phys.delivered, 2u);
+}
+
+TEST(BroadcastSimTest, TransmissionCountsAreDeterministic) {
+  const auto g = random_graph(140, 10, true);
+  const auto a = simulate_broadcast(g, 0, Scheme::kSkyline);
+  const auto b = simulate_broadcast(g, 0, Scheme::kSkyline);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+}
+
+}  // namespace
+}  // namespace mldcs::bcast

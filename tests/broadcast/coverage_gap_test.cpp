@@ -1,0 +1,127 @@
+// Tests for the Figure 5.6 phenomenon: construction, detection, broadcast
+// failure under the skyline scheme, and the patched-scheme repair.
+
+#include "broadcast/coverage_gap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "broadcast/broadcast_sim.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::bcast {
+namespace {
+
+TEST(Figure56Test, TopologyMatchesThePaper) {
+  const auto g = figure56_topology();
+  ASSERT_EQ(g.size(), 6u);
+  // u's 1-hop neighbors are u1, u2, u3.
+  const auto nb = g.neighbors(0);
+  EXPECT_EQ(std::vector<net::NodeId>(nb.begin(), nb.end()),
+            (std::vector<net::NodeId>{1, 2, 3}));
+  // u4, u5 are strict 2-hop neighbors of u.
+  EXPECT_EQ(g.two_hop_neighbors(0), (std::vector<net::NodeId>{4, 5}));
+  // u3 covers u4/u5 physically but is not linked to them.
+  EXPECT_TRUE(g.node(3).covers(g.node(4)));
+  EXPECT_TRUE(g.node(3).covers(g.node(5)));
+  EXPECT_FALSE(g.linked(3, 4));
+  EXPECT_FALSE(g.linked(3, 5));
+}
+
+TEST(Figure56Test, SkylineSetIsU3Only) {
+  const auto g = figure56_topology();
+  const LocalView view = local_view(g, 0);
+  EXPECT_EQ(skyline_forwarding_set(g, view), (std::vector<net::NodeId>{3}));
+}
+
+TEST(Figure56Test, OptimalSetIsU1U2) {
+  const auto g = figure56_topology();
+  const LocalView view = local_view(g, 0);
+  EXPECT_EQ(optimal_forwarding_set(g, view),
+            (std::vector<net::NodeId>{1, 2}));
+}
+
+TEST(Figure56Test, GapDetectorFindsU4U5) {
+  const auto g = figure56_topology();
+  const auto gap = skyline_coverage_gap(g, 0);
+  EXPECT_TRUE(gap.exists());
+  EXPECT_EQ(gap.forwarding_set, (std::vector<net::NodeId>{3}));
+  EXPECT_EQ(gap.uncovered, (std::vector<net::NodeId>{4, 5}));
+}
+
+TEST(Figure56Test, SkylineBroadcastFailsToDeliver) {
+  const auto g = figure56_topology();
+  const auto sky = simulate_broadcast(g, 0, Scheme::kSkyline);
+  EXPECT_FALSE(sky.full_delivery());
+  EXPECT_EQ(sky.delivered, 4u);  // u, u1, u2, u3 — never u4/u5
+  const auto greedy = simulate_broadcast(g, 0, Scheme::kGreedy);
+  EXPECT_TRUE(greedy.full_delivery());
+}
+
+TEST(Figure56Test, PhysicalReceptionMasksTheGap) {
+  // Under physical coverage u3's transmission does reach u4/u5 — the gap is
+  // an artifact of the bidirectional-link model, as the paper notes.
+  const auto g = figure56_topology();
+  const auto phys = simulate_broadcast(g, 0, Scheme::kSkyline,
+                                       ReceptionModel::kPhysicalCoverage);
+  EXPECT_GE(phys.delivered, 6u);
+}
+
+TEST(Figure56Test, PatchedSchemeClosesTheGap) {
+  const auto g = figure56_topology();
+  const LocalView view = local_view(g, 0);
+  const auto patched = patched_skyline_forwarding_set(g, view);
+  // Patched set must dominate the 2-hop neighborhood.
+  for (net::NodeId w : view.two_hop) {
+    bool covered = false;
+    for (net::NodeId v : patched) covered = covered || g.linked(v, w);
+    EXPECT_TRUE(covered) << "2-hop node " << w;
+  }
+  // And it keeps the skyline members.
+  EXPECT_TRUE(std::binary_search(patched.begin(), patched.end(), 3u));
+}
+
+TEST(CoverageGapTest, NoGapInHomogeneousNetworks) {
+  // Homogeneous: coverage == linkage, so the skyline set always dominates
+  // the 2-hop neighborhood (Sun et al.'s guarantee).
+  for (std::uint64_t seed = 200; seed < 210; ++seed) {
+    net::DeploymentParams p;
+    p.target_avg_degree = 10;
+    sim::Xoshiro256 rng(seed);
+    const auto g = net::generate_graph(p, rng);
+    const auto gap = skyline_coverage_gap(g, 0);
+    EXPECT_FALSE(gap.exists()) << "seed " << seed;
+  }
+}
+
+TEST(CoverageGapTest, PatchedEqualsSkylineWhenNoGap) {
+  net::DeploymentParams p;
+  p.target_avg_degree = 10;
+  sim::Xoshiro256 rng(300);
+  const auto g = net::generate_graph(p, rng);
+  const LocalView view = local_view(g, 0);
+  const auto gap = skyline_coverage_gap(g, 0);
+  ASSERT_FALSE(gap.exists());
+  EXPECT_EQ(patched_skyline_forwarding_set(g, view),
+            skyline_forwarding_set(g, view));
+}
+
+TEST(CoverageGapTest, GapsOccurInHeterogeneousNetworks) {
+  // The paper's point: with radii in U[1,2] the gap does occur in practice.
+  net::DeploymentParams p;
+  p.model = net::RadiusModel::kUniform;
+  p.target_avg_degree = 10;
+  int gaps = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    sim::Xoshiro256 rng(sim::derive_seed(9000, seed));
+    const auto g = net::generate_graph(p, rng);
+    if (skyline_coverage_gap(g, 0).exists()) ++gaps;
+  }
+  EXPECT_GT(gaps, 0) << "expected at least one natural Figure 5.6 case in "
+                        "200 heterogeneous deployments";
+}
+
+}  // namespace
+}  // namespace mldcs::bcast

@@ -1,0 +1,79 @@
+// Tests for the redundant-reception accounting (the Ni et al. broadcast
+// storm metric) in both simulators.
+
+#include <gtest/gtest.h>
+
+#include "broadcast/broadcast_sim.hpp"
+#include "broadcast/self_pruning.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::bcast {
+namespace {
+
+net::DiskGraph chain(std::size_t n) {
+  std::vector<net::Node> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back({static_cast<net::NodeId>(i),
+                     {static_cast<double>(i), 0.0}, 1.0});
+  }
+  return net::DiskGraph::build(std::move(nodes));
+}
+
+TEST(RedundancyTest, SingleNodeHasNoRedundancy) {
+  const auto g = net::DiskGraph::build({{0, {0, 0}, 1.0}});
+  EXPECT_EQ(simulate_broadcast(g, 0, Scheme::kFlooding).redundant_receptions,
+            0u);
+}
+
+TEST(RedundancyTest, FloodingOnChainCountsBackEdges) {
+  // On a path with flooding everyone transmits; every reception except the
+  // n-1 first-time deliveries is redundant: total receptions = 2*edges.
+  const std::size_t n = 7;
+  const auto g = chain(n);
+  const auto r = simulate_broadcast(g, 0, Scheme::kFlooding);
+  EXPECT_EQ(r.redundant_receptions, 2 * g.edge_count() - (r.delivered - 1));
+}
+
+TEST(RedundancyTest, FloodingRedundancyIdentityOnRandomGraphs) {
+  // When every node transmits exactly once, receptions = 2 * edges within
+  // the reached component, so redundancy = 2*edges - (delivered - 1).
+  net::DeploymentParams p;
+  p.target_avg_degree = 8;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    sim::Xoshiro256 rng(sim::derive_seed(4242, seed));
+    auto g = net::generate_graph(p, rng);
+    const auto r = simulate_broadcast(g, 0, Scheme::kFlooding);
+    if (!g.connected()) continue;  // identity needs the single component
+    EXPECT_EQ(r.redundant_receptions,
+              2 * g.edge_count() - (r.delivered - 1))
+        << "seed " << seed;
+  }
+}
+
+TEST(RedundancyTest, SchemesReduceRedundancyVsFlooding) {
+  net::DeploymentParams p;
+  p.target_avg_degree = 12;
+  sim::Xoshiro256 rng(99);
+  const auto g = net::generate_graph(p, rng);
+  const auto flood = simulate_broadcast(g, 0, Scheme::kFlooding);
+  for (const Scheme s : {Scheme::kSkyline, Scheme::kGreedy}) {
+    const auto r = simulate_broadcast(g, 0, s);
+    EXPECT_LE(r.redundant_receptions, flood.redundant_receptions)
+        << scheme_name(s);
+  }
+}
+
+TEST(RedundancyTest, PrunedBroadcastReducesRedundancyFurther) {
+  net::DeploymentParams p;
+  p.target_avg_degree = 12;
+  sim::Xoshiro256 rng(101);
+  const auto g = net::generate_graph(p, rng);
+  const auto pure = simulate_broadcast(g, 0, Scheme::kSkyline);
+  const auto pruned = simulate_pruned_broadcast(g, 0, Scheme::kSkyline);
+  EXPECT_LE(pruned.redundant_receptions, pure.redundant_receptions);
+  EXPECT_EQ(pruned.delivered, pure.delivered);
+}
+
+}  // namespace
+}  // namespace mldcs::bcast

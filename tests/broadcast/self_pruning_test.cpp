@@ -1,0 +1,105 @@
+// Tests for the receiver-based self-pruning baseline and the hybrid
+// (sender-designation + self-pruning) broadcast.
+
+#include "broadcast/self_pruning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace mldcs::bcast {
+namespace {
+
+net::DiskGraph random_graph(std::uint64_t seed, double degree, bool hetero) {
+  net::DeploymentParams p;
+  p.target_avg_degree = degree;
+  p.model = hetero ? net::RadiusModel::kUniform : net::RadiusModel::kHomogeneous;
+  sim::Xoshiro256 rng(seed);
+  return net::generate_graph(p, rng);
+}
+
+TEST(SelfPruningRuleTest, PrunedWhenNeighborhoodIsSubset) {
+  // Triangle: every node's neighborhood is covered by any sender.
+  const auto g = net::DiskGraph::build(
+      {{0, {0, 0}, 1.0}, {1, {0.5, 0}, 1.0}, {2, {0.25, 0.4}, 1.0}});
+  EXPECT_FALSE(self_pruning_would_forward(g, 0, 1));
+  EXPECT_FALSE(self_pruning_would_forward(g, 0, 2));
+}
+
+TEST(SelfPruningRuleTest, ForwardsWhenReceiverExtendsCoverage) {
+  // Chain 0-1-2: node 1 has a neighbor (2) the sender 0 cannot reach.
+  const auto g = net::DiskGraph::build(
+      {{0, {0, 0}, 1.0}, {1, {1, 0}, 1.0}, {2, {2, 0}, 1.0}});
+  EXPECT_TRUE(self_pruning_would_forward(g, 0, 1));
+  EXPECT_FALSE(self_pruning_would_forward(g, 1, 0));  // 0 adds nothing
+  EXPECT_FALSE(self_pruning_would_forward(g, 1, 2));  // 2 adds nothing
+}
+
+TEST(SelfPruningBroadcastTest, DeliveryPreservedOnChain) {
+  std::vector<net::Node> nodes;
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back({static_cast<net::NodeId>(i),
+                     {static_cast<double>(i), 0.0}, 1.0});
+  }
+  const auto g = net::DiskGraph::build(std::move(nodes));
+  const auto r = simulate_pruned_broadcast(g, 0, Scheme::kFlooding);
+  EXPECT_TRUE(r.full_delivery());
+  // The last node adds nothing and must be pruned.
+  EXPECT_LT(r.transmissions, 8u);
+}
+
+TEST(SelfPruningBroadcastTest, FullDeliveryOnRandomGraphs) {
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    for (const bool hetero : {false, true}) {
+      const auto g = random_graph(seed, 10, hetero);
+      const auto pruned = simulate_pruned_broadcast(g, 0, Scheme::kFlooding);
+      EXPECT_TRUE(pruned.full_delivery())
+          << "seed " << seed << " hetero " << hetero;
+    }
+  }
+}
+
+TEST(SelfPruningBroadcastTest, HybridNeverTransmitsMoreThanPureScheme) {
+  for (std::uint64_t seed = 310; seed < 315; ++seed) {
+    const auto g = random_graph(seed, 12, false);
+    for (const Scheme s : {Scheme::kFlooding, Scheme::kSkyline,
+                           Scheme::kGreedy}) {
+      const auto pure = simulate_broadcast(g, 0, s);
+      const auto hybrid = simulate_pruned_broadcast(g, 0, s);
+      EXPECT_LE(hybrid.transmissions, pure.transmissions)
+          << scheme_name(s) << " seed " << seed;
+      EXPECT_EQ(hybrid.delivered, pure.delivered)
+          << scheme_name(s) << " seed " << seed;
+    }
+  }
+}
+
+TEST(SelfPruningBroadcastTest, HybridReducesTransmissions) {
+  // Wu-Li self-pruning is geometrically weak at moderate density (a
+  // receiver nearly always owns a private neighbor), so the reduction is
+  // real but modest; assert the guaranteed direction plus that pruning
+  // actually fires somewhere in the sample.
+  sim::RunningStats pure_tx, hybrid_tx;
+  for (std::uint64_t seed = 320; seed < 326; ++seed) {
+    const auto g = random_graph(seed, 12, false);
+    pure_tx.add(static_cast<double>(
+        simulate_broadcast(g, 0, Scheme::kSkyline).transmissions));
+    hybrid_tx.add(static_cast<double>(
+        simulate_pruned_broadcast(g, 0, Scheme::kSkyline).transmissions));
+  }
+  EXPECT_LT(hybrid_tx.mean(), pure_tx.mean());
+  EXPECT_GT(pure_tx.sum() - hybrid_tx.sum(), 0.0);
+}
+
+TEST(SelfPruningBroadcastTest, SingleNodeAndInvalidSource) {
+  const auto g = net::DiskGraph::build({{0, {0, 0}, 1.0}});
+  const auto r = simulate_pruned_broadcast(g, 0, Scheme::kFlooding);
+  EXPECT_EQ(r.transmissions, 1u);
+  EXPECT_TRUE(r.full_delivery());
+  EXPECT_EQ(simulate_pruned_broadcast(g, 9, Scheme::kFlooding).delivered, 0u);
+}
+
+}  // namespace
+}  // namespace mldcs::bcast

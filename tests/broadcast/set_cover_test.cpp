@@ -1,0 +1,126 @@
+// Tests for the set-cover solvers: greedy approximation behaviour and
+// exactness of the branch-and-bound against brute-force enumeration.
+
+#include "broadcast/set_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+
+namespace mldcs::bcast {
+namespace {
+
+TEST(SetCoverTest, EmptyUniverseNeedsNothing) {
+  const SetCoverInstance inst{0, {{}, {}}};
+  EXPECT_TRUE(greedy_set_cover(inst).empty());
+  EXPECT_TRUE(optimal_set_cover(inst).empty());
+  EXPECT_TRUE(bruteforce_set_cover(inst).empty());
+  EXPECT_TRUE(covers_universe(inst, {}));
+}
+
+TEST(SetCoverTest, SingleSetCoversAll) {
+  const SetCoverInstance inst{3, {{0, 1, 2}}};
+  EXPECT_EQ(greedy_set_cover(inst), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(optimal_set_cover(inst), (std::vector<std::size_t>{0}));
+}
+
+TEST(SetCoverTest, GreedyCanBeSuboptimal) {
+  // Classic trap: greedy picks the big set {0,1,2,3} then needs two more;
+  // optimum is the two disjoint sets.
+  const SetCoverInstance inst{6,
+                              {{0, 1, 2, 3},     // greedy bait
+                               {0, 1, 4},        // optimal half 1
+                               {2, 3, 5}}};      // optimal half 2
+  const auto greedy = greedy_set_cover(inst);
+  const auto optimal = optimal_set_cover(inst);
+  EXPECT_TRUE(covers_universe(inst, greedy));
+  EXPECT_TRUE(covers_universe(inst, optimal));
+  EXPECT_EQ(optimal.size(), 2u);
+  EXPECT_EQ(greedy.size(), 3u);
+}
+
+TEST(SetCoverTest, ForcedCandidateIsAlwaysChosen) {
+  // Element 3 is only covered by set 2.
+  const SetCoverInstance inst{4, {{0, 1}, {1, 2}, {3}, {0, 2}}};
+  const auto optimal = optimal_set_cover(inst);
+  EXPECT_NE(std::find(optimal.begin(), optimal.end(), 2u), optimal.end());
+  EXPECT_TRUE(covers_universe(inst, optimal));
+}
+
+TEST(SetCoverTest, UncoverableElementsAreIgnored) {
+  // Element 2 is covered by nobody; a cover of {0, 1} suffices.
+  const SetCoverInstance inst{3, {{0}, {1}}};
+  const auto optimal = optimal_set_cover(inst);
+  EXPECT_EQ(optimal.size(), 2u);
+  EXPECT_TRUE(covers_universe(inst, optimal));
+}
+
+TEST(SetCoverTest, DuplicateSetsCollapse) {
+  const SetCoverInstance inst{2, {{0, 1}, {0, 1}, {0, 1}}};
+  EXPECT_EQ(optimal_set_cover(inst).size(), 1u);
+}
+
+TEST(SetCoverTest, EmptySetsNeverChosen) {
+  const SetCoverInstance inst{2, {{}, {0, 1}, {}}};
+  EXPECT_EQ(optimal_set_cover(inst), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(greedy_set_cover(inst), (std::vector<std::size_t>{1}));
+}
+
+TEST(SetCoverTest, CoversUniverseRejectsPartialCover) {
+  const SetCoverInstance inst{3, {{0}, {1}, {2}}};
+  EXPECT_FALSE(covers_universe(inst, {0, 1}));
+  EXPECT_TRUE(covers_universe(inst, {0, 1, 2}));
+  EXPECT_FALSE(covers_universe(inst, {99}));  // out of range
+}
+
+/// Exactness sweep: branch-and-bound == brute force on random instances.
+class SetCoverExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetCoverExactnessTest, BranchAndBoundMatchesBruteForce) {
+  sim::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 131 + 11);
+  for (int trial = 0; trial < 30; ++trial) {
+    SetCoverInstance inst;
+    inst.universe_size = 4 + rng.uniform_int(8);       // 4..11 elements
+    const std::size_t n_sets = 3 + rng.uniform_int(9); // 3..11 sets
+    inst.sets.resize(n_sets);
+    for (auto& s : inst.sets) {
+      for (std::uint32_t e = 0; e < inst.universe_size; ++e) {
+        if (rng.uniform() < 0.35) s.push_back(e);
+      }
+    }
+    const auto exact = optimal_set_cover(inst);
+    const auto brute = bruteforce_set_cover(inst);
+    EXPECT_TRUE(covers_universe(inst, exact));
+    EXPECT_TRUE(covers_universe(inst, brute));
+    EXPECT_EQ(exact.size(), brute.size())
+        << "seed " << GetParam() << " trial " << trial;
+    // Greedy is feasible and never better than optimal.
+    const auto greedy = greedy_set_cover(inst);
+    EXPECT_TRUE(covers_universe(inst, greedy));
+    EXPECT_GE(greedy.size(), exact.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverExactnessTest, ::testing::Range(0, 8));
+
+TEST(SetCoverTest, LargerInstanceStillExactAndFast) {
+  // 30 candidates, 60 elements: far beyond brute force, trivial for B&B.
+  sim::Xoshiro256 rng(777);
+  SetCoverInstance inst;
+  inst.universe_size = 60;
+  inst.sets.resize(30);
+  for (auto& s : inst.sets) {
+    for (std::uint32_t e = 0; e < inst.universe_size; ++e) {
+      if (rng.uniform() < 0.15) s.push_back(e);
+    }
+  }
+  const auto exact = optimal_set_cover(inst);
+  const auto greedy = greedy_set_cover(inst);
+  EXPECT_TRUE(covers_universe(inst, exact));
+  EXPECT_LE(exact.size(), greedy.size());
+}
+
+}  // namespace
+}  // namespace mldcs::bcast

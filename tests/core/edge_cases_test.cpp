@@ -1,0 +1,141 @@
+// Adversarial / numerical edge cases for the skyline algorithms: the relay
+// on disk boundaries, near-coincident radii, micro and macro scales, and
+// defensive paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/skyline_dc.hpp"
+#include "core/skyline_reference.hpp"
+#include "core/validate.hpp"
+#include "geometry/angle.hpp"
+#include "geometry/radial.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::core {
+namespace {
+
+using geom::Disk;
+using geom::kTwoPi;
+using geom::Vec2;
+
+void expect_agreement(const std::vector<Disk>& disks, Vec2 o,
+                      const std::string& label) {
+  const auto dc = compute_skyline(disks, o);
+  const auto bf = compute_skyline_bruteforce(disks, o);
+  EXPECT_EQ(verify_skyline(dc, disks), "") << label;
+  EXPECT_LT(max_radial_error(dc, disks, 2048), 1e-7) << label;
+  EXPECT_EQ(dc.skyline_set(), bf.skyline_set()) << label;
+}
+
+TEST(EdgeCasesTest, RelayOnEveryDiskBoundary) {
+  // k disks all passing exactly through o: rho_i has a zero.  The union
+  // boundary touches o, the most degenerate star-shaped configuration.
+  for (const std::size_t k : {2u, 3u, 5u, 8u}) {
+    std::vector<Disk> disks;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double a = kTwoPi * static_cast<double>(i) / static_cast<double>(k);
+      disks.push_back(Disk{geom::unit_at(a), 1.0});  // ||o - c|| == r
+    }
+    expect_agreement(disks, {0, 0}, "boundary-relay k=" + std::to_string(k));
+  }
+}
+
+TEST(EdgeCasesTest, NearCoincidentRadii) {
+  // Radii differing by barely more than the tolerance: the tie-break must
+  // stay deterministic and the algorithms must agree.
+  sim::Xoshiro256 rng(31);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<Disk> disks;
+    const std::size_t n = 3 + rng.uniform_int(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = 1.0 + 1e-7 * static_cast<double>(rng.uniform_int(5));
+      const double d = rng.uniform(0.0, 0.9);
+      disks.push_back(Disk{d * geom::unit_at(rng.uniform(0.0, kTwoPi)), r});
+    }
+    expect_agreement(disks, {0, 0}, "near-coincident rep " +
+                                        std::to_string(rep));
+  }
+}
+
+TEST(EdgeCasesTest, MicroScaleConfiguration) {
+  // Everything scaled down by 1e-3: absolute tolerances must not swallow
+  // the geometry at the paper's unit scale divided by 1000.
+  const double s = 1e-3;
+  const std::vector<Disk> disks{{{0.5 * s, 0.0}, 1.0 * s},
+                                {{-0.5 * s, 0.0}, 1.0 * s},
+                                {{0.0, 0.6 * s}, 0.9 * s}};
+  expect_agreement(disks, {0, 0}, "micro scale");
+}
+
+TEST(EdgeCasesTest, MacroScaleConfiguration) {
+  // Scaled up by 1e3 with a far-away origin offset: catches naive absolute
+  // comparisons against large coordinates.
+  const Vec2 base{5000.0, -3000.0};
+  const std::vector<Disk> disks{{base + Vec2{500, 0}, 1000.0},
+                                {base + Vec2{-500, 0}, 1000.0},
+                                {base + Vec2{0, 600}, 900.0}};
+  expect_agreement(disks, base, "macro scale");
+}
+
+TEST(EdgeCasesTest, ManyDisksThroughTwoCommonPoints) {
+  // A pencil of circles through two fixed points (0, +-h): every pair of
+  // circles intersects at the SAME two points — maximal breakpoint
+  // collision for Merge's deduplication.
+  const double h = 0.8;
+  std::vector<Disk> disks;
+  for (const double cx : {-0.9, -0.45, -0.2, 0.0, 0.2, 0.45, 0.9}) {
+    const double r = std::sqrt(cx * cx + h * h);
+    disks.push_back(Disk{{cx, 0.0}, r});
+  }
+  expect_agreement(disks, {0, 0}, "pencil of circles");
+}
+
+TEST(EdgeCasesTest, LargeRandomSetAgreesWithIncremental) {
+  // n = 400: far beyond what the unit sweeps use; D&C and incremental must
+  // still agree exactly (brute force would be too slow here).
+  sim::Xoshiro256 rng(747);
+  std::vector<Disk> disks;
+  for (int i = 0; i < 400; ++i) {
+    const double r = rng.uniform(1.0, 1.5);
+    const double d = rng.uniform(0.0, r);
+    disks.push_back(Disk{d * geom::unit_at(rng.uniform(0.0, kTwoPi)), r});
+  }
+  const auto dc = compute_skyline(disks, {0, 0});
+  const auto inc = compute_skyline_incremental(disks, {0, 0});
+  EXPECT_EQ(dc.skyline_set(), inc.skyline_set());
+  EXPECT_EQ(verify_skyline(dc, disks), "");
+  EXPECT_LE(dc.arc_count(), 2 * disks.size());
+}
+
+TEST(EdgeCasesTest, RadiusAtOutOfRangeDiskIndexIsSafe) {
+  const Skyline sky({0, 0}, {{0.0, kTwoPi, 7}});  // index beyond the span
+  const std::vector<Disk> disks{{{0, 0}, 1.0}};
+  EXPECT_DOUBLE_EQ(sky.radius_at(disks, 1.0), 0.0);
+}
+
+TEST(EdgeCasesTest, AllDisksZeroRadiusAtOrigin) {
+  // Pathological but legal: every disk is the single point o.
+  const std::vector<Disk> disks{{{0, 0}, 0.0}, {{0, 0}, 0.0}};
+  const auto sky = compute_skyline(disks, {0, 0});
+  EXPECT_EQ(sky.skyline_set().size(), 1u);
+  EXPECT_NEAR(sky.enclosed_area(disks), 0.0, 1e-12);
+}
+
+TEST(EdgeCasesTest, SpikyRadialProfile) {
+  // One dominant disk plus many slivers poking out by a hair: stress the
+  // sliver-dropping logic without breaking coverage.
+  sim::Xoshiro256 rng(555);
+  std::vector<Disk> disks{{{0, 0}, 1.0}};
+  for (int i = 0; i < 12; ++i) {
+    const double a = rng.uniform(0.0, kTwoPi);
+    // Center near the boundary, radius slightly over the gap to o.
+    const double d = 0.95;
+    disks.push_back(Disk{d * geom::unit_at(a), d + 0.06});
+  }
+  expect_agreement(disks, {0, 0}, "spiky profile");
+}
+
+}  // namespace
+}  // namespace mldcs::core

@@ -1,0 +1,95 @@
+// Unit tests for angle normalization and circular intervals — the arc
+// bookkeeping that Merge's Step 1 refinement relies on.
+
+#include "geometry/angle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mldcs::geom {
+namespace {
+
+TEST(AngleTest, NormalizeAngleMapsIntoHalfOpenRange) {
+  EXPECT_DOUBLE_EQ(normalize_angle(0.0), 0.0);
+  EXPECT_NEAR(normalize_angle(kTwoPi), 0.0, 1e-15);
+  EXPECT_NEAR(normalize_angle(-kPi / 2), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(normalize_angle(5 * kTwoPi + 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(normalize_angle(-7 * kTwoPi - 1.0), kTwoPi - 1.0, 1e-9);
+}
+
+TEST(AngleTest, NormalizeAngleNeverReturnsTwoPi) {
+  // Regression guard: fmod of a tiny negative used to round to 2*pi.
+  for (double a : {-1e-18, -1e-16, -1e-300, kTwoPi - 1e-18}) {
+    const double r = normalize_angle(a);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, kTwoPi);
+  }
+}
+
+TEST(AngleTest, NormalizeAngleSigned) {
+  EXPECT_DOUBLE_EQ(normalize_angle_signed(0.0), 0.0);
+  EXPECT_NEAR(normalize_angle_signed(kPi), kPi, 1e-15);          // pi included
+  EXPECT_NEAR(normalize_angle_signed(-kPi), kPi, 1e-15);         // maps to +pi
+  EXPECT_NEAR(normalize_angle_signed(1.5 * kPi), -0.5 * kPi, 1e-12);
+}
+
+TEST(AngleTest, CcwSpan) {
+  EXPECT_NEAR(ccw_span(0.0, kPi), kPi, 1e-15);
+  EXPECT_NEAR(ccw_span(kPi, 0.0), kPi, 1e-15);
+  EXPECT_NEAR(ccw_span(1.5 * kPi, 0.5 * kPi), kPi, 1e-12);  // wraps through 0
+  EXPECT_NEAR(ccw_span(1.0, 1.0), 0.0, 1e-15);
+}
+
+TEST(AngleTest, AngleInCcwIntervalPlain) {
+  EXPECT_TRUE(angle_in_ccw_interval(1.0, 0.5, 2.0));
+  EXPECT_TRUE(angle_in_ccw_interval(0.5, 0.5, 2.0));  // closed at lo
+  EXPECT_TRUE(angle_in_ccw_interval(2.0, 0.5, 2.0));  // closed at hi
+  EXPECT_FALSE(angle_in_ccw_interval(2.5, 0.5, 2.0));
+  EXPECT_FALSE(angle_in_ccw_interval(0.0, 0.5, 2.0));
+}
+
+TEST(AngleTest, AngleInCcwIntervalWrapping) {
+  // Interval from 3*pi/2 sweeping CCW to pi/2 passes through 0.
+  EXPECT_TRUE(angle_in_ccw_interval(0.0, 1.5 * kPi, 0.5 * kPi));
+  EXPECT_TRUE(angle_in_ccw_interval(1.9 * kPi, 1.5 * kPi, 0.5 * kPi));
+  EXPECT_FALSE(angle_in_ccw_interval(kPi, 1.5 * kPi, 0.5 * kPi));
+}
+
+TEST(AngleTest, AngleStrictlyInsideExcludesEndpoints) {
+  EXPECT_TRUE(angle_strictly_inside(1.0, 0.5, 2.0));
+  EXPECT_FALSE(angle_strictly_inside(0.5, 0.5, 2.0));
+  EXPECT_FALSE(angle_strictly_inside(2.0, 0.5, 2.0));
+}
+
+TEST(AngleTest, ApproxEqualAngleHandlesWraparound) {
+  EXPECT_TRUE(approx_equal_angle(0.0, kTwoPi));
+  EXPECT_TRUE(approx_equal_angle(1e-12, kTwoPi - 1e-12));
+  EXPECT_FALSE(approx_equal_angle(0.0, kPi));
+}
+
+TEST(AngleTest, DegreeRadianRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg2rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad2deg(kPi / 2), 90.0);
+  for (double d : {0.0, 37.5, 180.0, 299.999}) {
+    EXPECT_NEAR(rad2deg(deg2rad(d)), d, 1e-12);
+  }
+}
+
+/// Parameterized sweep: normalize_angle(a + k*2*pi) == normalize_angle(a).
+class AnglePeriodicityTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(AnglePeriodicityTest, NormalizationIsPeriodic) {
+  const auto [a, k] = GetParam();
+  const double shifted = a + k * kTwoPi;
+  EXPECT_NEAR(normalize_angle(shifted), normalize_angle(a), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnglePeriodicityTest,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 1.0, 3.14, 5.0, 6.28),
+                       ::testing::Values(-3, -1, 0, 1, 2, 7)));
+
+}  // namespace
+}  // namespace mldcs::geom

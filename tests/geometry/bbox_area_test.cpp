@@ -1,0 +1,139 @@
+// Tests for bounding boxes and union-area estimation (including the
+// closed-form sector integral used for exact skyline areas).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/area.hpp"
+#include "geometry/angle.hpp"
+#include "geometry/bbox.hpp"
+#include "geometry/radial.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::geom {
+namespace {
+
+TEST(BBoxTest, EmptyByDefault) {
+  const BBox b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);
+}
+
+TEST(BBoxTest, ExpandByPointsAndDisks) {
+  BBox b;
+  b.expand(Vec2{1, 2});
+  EXPECT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);  // a single point
+  b.expand(Vec2{-1, 5});
+  EXPECT_DOUBLE_EQ(b.width(), 2.0);
+  EXPECT_DOUBLE_EQ(b.height(), 3.0);
+  b.expand(Disk{{0, 0}, 10.0});
+  EXPECT_DOUBLE_EQ(b.min.x, -10.0);
+  EXPECT_DOUBLE_EQ(b.max.y, 10.0);
+}
+
+TEST(BBoxTest, ContainsAndCenter) {
+  BBox b;
+  b.expand(Vec2{0, 0});
+  b.expand(Vec2{4, 2});
+  EXPECT_TRUE(b.contains({2, 1}));
+  EXPECT_TRUE(b.contains({0, 0}));
+  EXPECT_FALSE(b.contains({5, 1}));
+  EXPECT_EQ(b.center(), Vec2(2, 1));
+}
+
+TEST(BBoxTest, InflatedGrowsAllSides) {
+  BBox b;
+  b.expand(Vec2{0, 0});
+  b.expand(Vec2{2, 2});
+  const BBox big = b.inflated(1.0);
+  EXPECT_DOUBLE_EQ(big.min.x, -1.0);
+  EXPECT_DOUBLE_EQ(big.max.y, 3.0);
+}
+
+TEST(BBoxTest, BBoxOfSpans) {
+  const std::vector<Disk> disks{{{0, 0}, 1.0}, {{3, 0}, 2.0}};
+  const BBox b = bbox_of(disks);
+  EXPECT_DOUBLE_EQ(b.min.x, -1.0);
+  EXPECT_DOUBLE_EQ(b.max.x, 5.0);
+  EXPECT_DOUBLE_EQ(b.max.y, 2.0);
+}
+
+TEST(UnionAreaTest, CoveredByUnion) {
+  const std::vector<Disk> disks{{{0, 0}, 1.0}, {{3, 0}, 1.0}};
+  EXPECT_TRUE(covered_by_union(disks, {0.5, 0}));
+  EXPECT_TRUE(covered_by_union(disks, {3.5, 0}));
+  EXPECT_FALSE(covered_by_union(disks, {1.5, 0}));
+}
+
+TEST(UnionAreaTest, SingleDiskGridEstimate) {
+  const std::vector<Disk> disks{{{0, 0}, 1.0}};
+  EXPECT_NEAR(union_area_grid(disks, 600), kPi, 0.01);
+}
+
+TEST(UnionAreaTest, DisjointDisksAreasAdd) {
+  const std::vector<Disk> disks{{{0, 0}, 1.0}, {{10, 0}, 2.0}};
+  EXPECT_NEAR(union_area_grid(disks, 800), kPi + 4 * kPi, 0.1);
+}
+
+TEST(UnionAreaTest, NestedDisksAreaOfOuter) {
+  const std::vector<Disk> disks{{{0, 0}, 2.0}, {{0.5, 0}, 1.0}};
+  EXPECT_NEAR(union_area_grid(disks, 600), 4 * kPi, 0.05);
+}
+
+TEST(UnionAreaTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(union_area_grid({}, 100), 0.0);
+  const std::vector<Disk> one{{{0, 0}, 1.0}};
+  EXPECT_DOUBLE_EQ(union_area_grid(one, 0), 0.0);
+}
+
+TEST(SectorAreaTest, FullCircleCenteredDisk) {
+  // Integrating rho^2/2 over [0, 2*pi] for a disk centered at o: pi r^2.
+  const Disk d{{0, 0}, 2.0};
+  EXPECT_NEAR(sector_area_under_disk(d, {0, 0}, 0.0, kTwoPi), 4 * kPi, 1e-9);
+}
+
+TEST(SectorAreaTest, FullCircleOffsetDisk) {
+  // The closed form must give the full disk area for any interior origin.
+  sim::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double r = rng.uniform(0.5, 3.0);
+    const double d = rng.uniform(0.0, r * 0.999);
+    const Disk disk{d * unit_at(rng.uniform(0.0, kTwoPi)), r};
+    EXPECT_NEAR(sector_area_under_disk(disk, {0, 0}, 0.0, kTwoPi),
+                kPi * r * r, 1e-6)
+        << disk;
+  }
+}
+
+TEST(SectorAreaTest, HalfCircleCenteredDisk) {
+  const Disk d{{0, 0}, 1.0};
+  EXPECT_NEAR(sector_area_under_disk(d, {0, 0}, 0.0, kPi), kPi / 2, 1e-9);
+}
+
+TEST(SectorAreaTest, AdditivityOverSubdivision) {
+  const Disk d{{0.4, -0.3}, 1.5};
+  const double whole = sector_area_under_disk(d, {0, 0}, 0.2, 2.9);
+  const double split = sector_area_under_disk(d, {0, 0}, 0.2, 1.1) +
+                       sector_area_under_disk(d, {0, 0}, 1.1, 2.9);
+  EXPECT_NEAR(whole, split, 1e-9);
+}
+
+TEST(SectorAreaTest, MatchesNumericIntegration) {
+  const Disk d{{0.6, 0.2}, 1.2};
+  const double t0 = 0.5;
+  const double t1 = 2.5;
+  // Midpoint rule on rho^2 / 2.
+  double numeric = 0.0;
+  const int steps = 20000;
+  for (int k = 0; k < steps; ++k) {
+    const double theta = t0 + (t1 - t0) * (k + 0.5) / steps;
+    const double rho = radial_distance(d, {0, 0}, theta);
+    numeric += 0.5 * rho * rho * (t1 - t0) / steps;
+  }
+  EXPECT_NEAR(sector_area_under_disk(d, {0, 0}, t0, t1), numeric, 1e-5);
+}
+
+}  // namespace
+}  // namespace mldcs::geom

@@ -1,0 +1,138 @@
+// Unit + property tests for circle-circle intersection — the geometric
+// kernel Merge's Case 1/2/3 decisions rest on.
+
+#include "geometry/circle_intersect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angle.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::geom {
+namespace {
+
+TEST(CircleIntersectTest, DisjointCircles) {
+  const auto r = intersect_circles({{0, 0}, 1.0}, {{5, 0}, 1.0});
+  EXPECT_EQ(r.relation, CircleRelation::kDisjoint);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(CircleIntersectTest, ContainedCircle) {
+  const auto r = intersect_circles({{0, 0}, 5.0}, {{1, 0}, 1.0});
+  EXPECT_EQ(r.relation, CircleRelation::kContained);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(CircleIntersectTest, CoincidentCircles) {
+  const auto r = intersect_circles({{2, 3}, 1.5}, {{2, 3}, 1.5});
+  EXPECT_EQ(r.relation, CircleRelation::kCoincident);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(CircleIntersectTest, ExternallyTangent) {
+  const auto r = intersect_circles({{0, 0}, 1.0}, {{2, 0}, 1.0});
+  EXPECT_EQ(r.relation, CircleRelation::kExternallyTangent);
+  ASSERT_EQ(r.count, 1);
+  EXPECT_NEAR(r.points[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(r.points[0].y, 0.0, 1e-9);
+}
+
+TEST(CircleIntersectTest, InternallyTangent) {
+  const auto r = intersect_circles({{0, 0}, 2.0}, {{1, 0}, 1.0});
+  EXPECT_EQ(r.relation, CircleRelation::kInternallyTangent);
+  ASSERT_EQ(r.count, 1);
+  EXPECT_NEAR(r.points[0].x, 2.0, 1e-9);
+  EXPECT_NEAR(r.points[0].y, 0.0, 1e-9);
+}
+
+TEST(CircleIntersectTest, ClassicTwoPointCrossing) {
+  // Unit circles at (0,0) and (1,0): intersections at (1/2, +-sqrt(3)/2).
+  const auto r = intersect_circles({{0, 0}, 1.0}, {{1, 0}, 1.0});
+  EXPECT_EQ(r.relation, CircleRelation::kCrossing);
+  ASSERT_EQ(r.count, 2);
+  EXPECT_NEAR(r.points[0].x, 0.5, 1e-12);
+  EXPECT_NEAR(r.points[0].y, std::sqrt(3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(r.points[1].x, 0.5, 1e-12);
+  EXPECT_NEAR(r.points[1].y, -std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(CircleIntersectTest, PointOrderIsDeterministicCcwFromFirstCenter) {
+  // points[0] must be counter-clockwise of the a->b axis.
+  const Disk a{{0, 0}, 2.0};
+  const Disk b{{2, 1}, 2.0};
+  const auto r = intersect_circles(a, b);
+  ASSERT_EQ(r.count, 2);
+  const Vec2 axis = b.center - a.center;
+  EXPECT_GT(axis.cross(r.points[0] - a.center), 0.0);
+  EXPECT_LT(axis.cross(r.points[1] - a.center), 0.0);
+}
+
+TEST(CircleIntersectTest, SymmetryOfRelation) {
+  const Disk a{{0, 0}, 3.0};
+  const Disk b{{2, 2}, 1.5};
+  const auto ab = intersect_circles(a, b);
+  const auto ba = intersect_circles(b, a);
+  EXPECT_EQ(ab.count, ba.count);
+  // Contained is asymmetric in roles but symmetric as a relation here.
+  EXPECT_EQ(ab.relation == CircleRelation::kCrossing,
+            ba.relation == CircleRelation::kCrossing);
+}
+
+TEST(CircleIntersectTest, DifferentRadiiCrossing) {
+  const auto r = intersect_circles({{0, 0}, 2.0}, {{2, 0}, 1.0});
+  EXPECT_EQ(r.relation, CircleRelation::kCrossing);
+  ASSERT_EQ(r.count, 2);
+  // t = (d^2 + ra^2 - rb^2)/(2d) = (4 + 4 - 1)/4 = 7/4; h = sqrt(4 - 49/16).
+  for (int k = 0; k < 2; ++k) {
+    EXPECT_NEAR(r.points[static_cast<std::size_t>(k)].x, 1.75, 1e-12);
+  }
+}
+
+/// Property sweep: for random crossing pairs, both reported points lie on
+/// both circles.
+class CircleIntersectPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircleIntersectPropertyTest, IntersectionPointsLieOnBothCircles) {
+  sim::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  int crossings = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Disk a{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(0.5, 3)};
+    const Disk b{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(0.5, 3)};
+    const auto r = intersect_circles(a, b);
+    for (int k = 0; k < r.count; ++k) {
+      const Vec2 p = r.points[static_cast<std::size_t>(k)];
+      EXPECT_NEAR(distance(p, a.center), a.radius, 1e-7)
+          << "a=" << a << " b=" << b;
+      EXPECT_NEAR(distance(p, b.center), b.radius, 1e-7)
+          << "a=" << a << " b=" << b;
+    }
+    if (r.relation == CircleRelation::kCrossing) ++crossings;
+  }
+  EXPECT_GT(crossings, 0);  // the sweep actually exercised the crossing path
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircleIntersectPropertyTest,
+                         ::testing::Range(0, 8));
+
+/// Property sweep: relation classification is consistent with center
+/// distance vs radius sum/difference.
+TEST(CircleIntersectTest, ClassificationMatchesDistanceAlgebra) {
+  sim::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Disk a{{rng.uniform(-3, 3), rng.uniform(-3, 3)}, rng.uniform(0.2, 2)};
+    const Disk b{{rng.uniform(-3, 3), rng.uniform(-3, 3)}, rng.uniform(0.2, 2)};
+    const double d = distance(a.center, b.center);
+    const auto r = intersect_circles(a, b);
+    if (d > a.radius + b.radius + 1e-6) {
+      EXPECT_EQ(r.relation, CircleRelation::kDisjoint);
+    } else if (d < std::fabs(a.radius - b.radius) - 1e-6) {
+      EXPECT_EQ(r.relation, CircleRelation::kContained);
+    } else if (d > std::fabs(a.radius - b.radius) + 1e-6 &&
+               d < a.radius + b.radius - 1e-6) {
+      EXPECT_EQ(r.relation, CircleRelation::kCrossing);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mldcs::geom

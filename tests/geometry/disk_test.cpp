@@ -1,0 +1,96 @@
+// Unit tests for the Disk primitive and the tolerance policy.
+
+#include "geometry/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::geom {
+namespace {
+
+TEST(ToleranceTest, ApproxComparisons) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + kTol / 2));
+  EXPECT_FALSE(approx_equal(1.0, 1.0 + 10 * kTol));
+  EXPECT_TRUE(approx_zero(kTol / 2));
+  EXPECT_TRUE(definitely_less(1.0, 2.0));
+  EXPECT_FALSE(definitely_less(1.0, 1.0 + kTol / 2));
+  EXPECT_TRUE(definitely_greater(2.0, 1.0));
+  EXPECT_TRUE(approx_leq(1.0 + kTol / 2, 1.0));
+  EXPECT_TRUE(approx_geq(1.0 - kTol / 2, 1.0));
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(DiskTest, ContainsInteriorBoundaryExterior) {
+  const Disk d{{0.0, 0.0}, 2.0};
+  EXPECT_TRUE(d.contains({0.0, 0.0}));
+  EXPECT_TRUE(d.contains({1.9, 0.0}));
+  EXPECT_TRUE(d.contains({2.0, 0.0}));   // closed disk includes boundary
+  EXPECT_FALSE(d.contains({2.1, 0.0}));
+}
+
+TEST(DiskTest, StrictlyContainsExcludesBoundary) {
+  const Disk d{{0.0, 0.0}, 2.0};
+  EXPECT_TRUE(d.strictly_contains({1.0, 0.0}));
+  EXPECT_FALSE(d.strictly_contains({2.0, 0.0}));
+  EXPECT_FALSE(d.strictly_contains({3.0, 0.0}));
+}
+
+TEST(DiskTest, OnBoundary) {
+  const Disk d{{1.0, 1.0}, 1.0};
+  EXPECT_TRUE(d.on_boundary({2.0, 1.0}));
+  EXPECT_TRUE(d.on_boundary({1.0, 0.0}));
+  EXPECT_FALSE(d.on_boundary({1.0, 1.0}));
+  EXPECT_FALSE(d.on_boundary({2.5, 1.0}));
+}
+
+TEST(DiskTest, ContainsDisk) {
+  const Disk big{{0.0, 0.0}, 5.0};
+  const Disk small{{1.0, 0.0}, 2.0};
+  const Disk edge{{3.0, 0.0}, 2.0};  // internally tangent
+  const Disk out{{4.0, 0.0}, 2.0};
+  EXPECT_TRUE(big.contains_disk(small));
+  EXPECT_TRUE(big.contains_disk(edge));
+  EXPECT_FALSE(big.contains_disk(out));
+  EXPECT_FALSE(small.contains_disk(big));
+  EXPECT_TRUE(big.contains_disk(big));  // reflexive
+}
+
+TEST(DiskTest, Intersects) {
+  const Disk a{{0.0, 0.0}, 1.0};
+  EXPECT_TRUE(a.intersects({{1.5, 0.0}, 1.0}));
+  EXPECT_TRUE(a.intersects({{2.0, 0.0}, 1.0}));   // externally tangent
+  EXPECT_FALSE(a.intersects({{2.5, 0.0}, 1.0}));
+  EXPECT_TRUE(a.intersects({{0.1, 0.0}, 0.1}));   // nested counts as intersecting
+}
+
+TEST(DiskTest, BoundaryPointIsOnBoundary) {
+  const Disk d{{2.0, -1.0}, 3.0};
+  for (int k = 0; k < 8; ++k) {
+    const double theta = kTwoPi * k / 8.0;
+    EXPECT_TRUE(d.on_boundary(d.boundary_point(theta)));
+  }
+}
+
+TEST(DiskTest, Area) {
+  EXPECT_NEAR(Disk({0, 0}, 1.0).area(), kPi, 1e-12);
+  EXPECT_NEAR(Disk({5, 5}, 2.0).area(), 4.0 * kPi, 1e-12);
+}
+
+TEST(DiskTest, ApproxEqualDisks) {
+  const Disk a{{1.0, 2.0}, 3.0};
+  EXPECT_TRUE(approx_equal(a, Disk{{1.0 + 1e-12, 2.0}, 3.0 - 1e-12}));
+  EXPECT_FALSE(approx_equal(a, Disk{{1.0, 2.0}, 3.1}));
+}
+
+TEST(DiskTest, ZeroRadiusDiskContainsOnlyItsCenter) {
+  const Disk d{{1.0, 1.0}, 0.0};
+  EXPECT_TRUE(d.contains({1.0, 1.0}));
+  EXPECT_FALSE(d.contains({1.1, 1.0}));
+  EXPECT_FALSE(d.strictly_contains({1.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace mldcs::geom

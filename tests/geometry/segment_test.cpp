@@ -1,0 +1,102 @@
+// Tests for segments, rays, and ray-circle intersection.
+
+#include "geometry/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace mldcs::geom {
+namespace {
+
+TEST(SegmentTest, LengthAndAt) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.at(0.0), Vec2(0, 0));
+  EXPECT_EQ(s.at(1.0), Vec2(3, 4));
+  EXPECT_EQ(s.at(0.5), Vec2(1.5, 2.0));
+}
+
+TEST(SegmentTest, DistanceToPoint) {
+  const Segment s{{0, 0}, {4, 0}};
+  EXPECT_DOUBLE_EQ(s.distance_to({2, 3}), 3.0);   // interior projection
+  EXPECT_DOUBLE_EQ(s.distance_to({-3, 4}), 5.0);  // clamps to endpoint a
+  EXPECT_DOUBLE_EQ(s.distance_to({7, 4}), 5.0);   // clamps to endpoint b
+  EXPECT_DOUBLE_EQ(s.distance_to({2, 0}), 0.0);   // on the segment
+}
+
+TEST(SegmentTest, DegenerateSegmentIsAPoint) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(s.distance_to({4, 5}), 5.0);
+}
+
+TEST(SegmentTest, InsideDiskByConvexity) {
+  // Lemma 1's engine: both endpoints in a convex disk -> whole segment in.
+  const Disk d{{0, 0}, 2.0};
+  EXPECT_TRUE((Segment{{-1, 0}, {1, 0.5}}.inside_disk(d)));
+  EXPECT_FALSE((Segment{{0, 0}, {3, 0}}.inside_disk(d)));
+}
+
+TEST(RayCircleTest, ThroughCenterTwoHits) {
+  const Ray ray{{-3, 0}, {1, 0}};
+  const auto h = intersect_ray_circle(ray, {{0, 0}, 1.0});
+  ASSERT_EQ(h.count, 2);
+  EXPECT_NEAR(h.t0, 2.0, 1e-12);
+  EXPECT_NEAR(h.t1, 4.0, 1e-12);
+}
+
+TEST(RayCircleTest, OriginInsideOneForwardHit) {
+  const Ray ray{{0, 0}, {1, 0}};
+  const auto h = intersect_ray_circle(ray, {{0, 0}, 1.5});
+  ASSERT_EQ(h.count, 1);
+  EXPECT_NEAR(h.t0, 1.5, 1e-12);
+}
+
+TEST(RayCircleTest, MissesCircle) {
+  const Ray ray{{0, 5}, {1, 0}};
+  EXPECT_EQ(intersect_ray_circle(ray, {{0, 0}, 1.0}).count, 0);
+}
+
+TEST(RayCircleTest, PointsBehindAreIgnored) {
+  const Ray ray{{3, 0}, {1, 0}};  // circle is behind the origin
+  EXPECT_EQ(intersect_ray_circle(ray, {{0, 0}, 1.0}).count, 0);
+}
+
+TEST(RayCircleTest, TangentRayOneHit) {
+  const Ray ray{{-3, 1}, {1, 0}};  // grazes the unit circle at (0, 1)
+  const auto h = intersect_ray_circle(ray, {{0, 0}, 1.0});
+  ASSERT_GE(h.count, 1);
+  EXPECT_NEAR(h.t0, 3.0, 1e-5);
+}
+
+TEST(RayCircleTest, ScalesWithDirectionLength) {
+  // t is in units of ||dir||: doubling dir halves t.
+  const Ray unit{{-3, 0}, {1, 0}};
+  const Ray twice{{-3, 0}, {2, 0}};
+  const Disk d{{0, 0}, 1.0};
+  EXPECT_NEAR(intersect_ray_circle(unit, d).t0,
+              2.0 * intersect_ray_circle(twice, d).t0, 1e-12);
+}
+
+TEST(RayCircleTest, HitPointsLieOnCircleProperty) {
+  sim::Xoshiro256 rng(31337);
+  const Disk d{{0.5, -0.25}, 1.25};
+  int hits = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Ray ray{{rng.uniform(-3, 3), rng.uniform(-3, 3)},
+                  unit_at(rng.uniform(0.0, 6.28))};
+    const auto h = intersect_ray_circle(ray, d);
+    if (h.count >= 1) {
+      EXPECT_NEAR(distance(ray.at(h.t0), d.center), d.radius, 1e-7);
+      ++hits;
+    }
+    if (h.count == 2) {
+      EXPECT_NEAR(distance(ray.at(h.t1), d.center), d.radius, 1e-7);
+      EXPECT_LE(h.t0, h.t1);
+    }
+  }
+  EXPECT_GT(hits, 0);
+}
+
+}  // namespace
+}  // namespace mldcs::geom

@@ -1,0 +1,127 @@
+// Tests for triangle utilities: circumcenter/radius, orthocenter,
+// classification, and the Lemma 6 circle construction.
+
+#include "geometry/triangle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/angle.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::geom {
+namespace {
+
+TEST(TriangleTest, AreaAndDegeneracy) {
+  const Triangle t{{0, 0}, {2, 0}, {0, 2}};
+  EXPECT_NEAR(t.area(), 2.0, 1e-12);
+  EXPECT_FALSE(t.degenerate());
+
+  const Triangle line{{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_TRUE(line.degenerate());
+  EXPECT_EQ(line.classify(), TriangleKind::kDegenerate);
+}
+
+TEST(TriangleTest, Classification) {
+  EXPECT_EQ((Triangle{{0, 0}, {2, 0}, {1, 2}}.classify()), TriangleKind::kAcute);
+  EXPECT_EQ((Triangle{{0, 0}, {2, 0}, {0, 2}}.classify()), TriangleKind::kRight);
+  EXPECT_EQ((Triangle{{0, 0}, {4, 0}, {0.2, 0.5}}.classify()),
+            TriangleKind::kObtuse);
+}
+
+TEST(TriangleTest, CircumcenterEquidistant) {
+  const Triangle t{{0, 0}, {3, 0}, {1, 2}};
+  const auto c = t.circumcenter();
+  ASSERT_TRUE(c.has_value());
+  const double r = distance(*c, t.a);
+  EXPECT_NEAR(distance(*c, t.b), r, 1e-12);
+  EXPECT_NEAR(distance(*c, t.c), r, 1e-12);
+  EXPECT_NEAR(*t.circumradius(), r, 1e-12);
+}
+
+TEST(TriangleTest, CircumradiusOfRightTriangleIsHalfHypotenuse) {
+  const Triangle t{{0, 0}, {6, 0}, {0, 8}};
+  EXPECT_NEAR(*t.circumradius(), 5.0, 1e-12);
+}
+
+TEST(TriangleTest, DegenerateHasNoCircumcenter) {
+  const Triangle line{{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_FALSE(line.circumcenter().has_value());
+  EXPECT_FALSE(line.circumradius().has_value());
+  EXPECT_FALSE(line.orthocenter().has_value());
+}
+
+TEST(TriangleTest, OrthocenterAltitudeProperty) {
+  // The orthocenter H satisfies (H - A) . (B - C) = 0 for every vertex.
+  sim::Xoshiro256 rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Triangle t{{rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                     {rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                     {rng.uniform(-2, 2), rng.uniform(-2, 2)}};
+    if (t.degenerate(1e-3)) continue;
+    const auto h = t.orthocenter();
+    ASSERT_TRUE(h.has_value());
+    EXPECT_NEAR((*h - t.a).dot(t.b - t.c), 0.0, 1e-7);
+    EXPECT_NEAR((*h - t.b).dot(t.a - t.c), 0.0, 1e-7);
+    EXPECT_NEAR((*h - t.c).dot(t.a - t.b), 0.0, 1e-7);
+  }
+}
+
+TEST(TriangleTest, OrthocenterOfRightTriangleIsTheRightAngleVertex) {
+  const Triangle t{{0, 0}, {3, 0}, {0, 4}};
+  const auto h = t.orthocenter();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(approx_equal(*h, Vec2{0, 0}, 1e-9));
+}
+
+TEST(TriangleTest, ContainsPoints) {
+  const Triangle t{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_TRUE(t.contains({1, 1}));
+  EXPECT_TRUE(t.contains({0, 0}));    // vertex
+  EXPECT_TRUE(t.contains({2, 0}));    // edge
+  EXPECT_FALSE(t.contains({3, 3}));
+  EXPECT_FALSE(t.contains({-1, 0}));
+}
+
+TEST(TriangleTest, ContainsIsOrientationIndependent) {
+  const Triangle ccw{{0, 0}, {4, 0}, {0, 4}};
+  const Triangle cw{{0, 0}, {0, 4}, {4, 0}};
+  for (const Vec2 p : {Vec2{1, 1}, Vec2{3, 3}, Vec2{2, 0}}) {
+    EXPECT_EQ(ccw.contains(p), cw.contains(p));
+  }
+}
+
+TEST(Lemma6CirclesTest, ChordsAndRadiusRespected) {
+  const Triangle t{{0, 0}, {2, 0}, {1, 1.5}};
+  const double r = *t.circumradius();
+  const auto circles = lemma6_circles(t, r);
+  ASSERT_TRUE(circles.has_value());
+  // Each circle passes through its edge's endpoints.
+  const std::array<std::pair<Vec2, Vec2>, 3> edges{{{t.a, t.b}, {t.b, t.c},
+                                                    {t.c, t.a}}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(distance((*circles)[i].center, edges[i].first), r, 1e-9);
+    EXPECT_NEAR(distance((*circles)[i].center, edges[i].second), r, 1e-9);
+  }
+}
+
+TEST(Lemma6CirclesTest, CentersAreOutsideTheTriangle) {
+  const Triangle t{{0, 0}, {2, 0}, {1, 1.5}};
+  const auto circles = lemma6_circles(t, *t.circumradius());
+  ASSERT_TRUE(circles.has_value());
+  for (const Disk& c : *circles) {
+    EXPECT_FALSE(t.contains(c.center, -1e-9));
+  }
+}
+
+TEST(Lemma6CirclesTest, RejectsTooSmallRadius) {
+  const Triangle t{{0, 0}, {4, 0}, {2, 3}};
+  EXPECT_FALSE(lemma6_circles(t, 0.5).has_value());  // < half longest edge
+}
+
+TEST(Lemma6CirclesTest, RejectsDegenerateTriangle) {
+  const Triangle line{{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_FALSE(lemma6_circles(line, 10.0).has_value());
+}
+
+}  // namespace
+}  // namespace mldcs::geom

@@ -1,0 +1,111 @@
+// Unit tests for the Vec2 primitive.
+
+#include "geometry/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mldcs::geom {
+namespace {
+
+TEST(Vec2Test, DefaultConstructsToOrigin) {
+  const Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2Test, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2Test, DotProduct) {
+  EXPECT_DOUBLE_EQ(Vec2(1.0, 2.0).dot({3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(Vec2(1.0, 0.0).dot({0.0, 1.0}), 0.0);
+}
+
+TEST(Vec2Test, CrossProductSignConvention) {
+  // y-axis is counter-clockwise from x-axis -> positive cross.
+  EXPECT_GT(Vec2(1.0, 0.0).cross({0.0, 1.0}), 0.0);
+  EXPECT_LT(Vec2(0.0, 1.0).cross({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Vec2(2.0, 2.0).cross({1.0, 1.0}), 0.0);
+}
+
+TEST(Vec2Test, Norms) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(Vec2Test, AngleMatchesAtan2) {
+  EXPECT_DOUBLE_EQ(Vec2(1.0, 0.0).angle(), 0.0);
+  EXPECT_DOUBLE_EQ(Vec2(0.0, 1.0).angle(), std::numbers::pi / 2);
+  EXPECT_DOUBLE_EQ(Vec2(-1.0, 0.0).angle(), std::numbers::pi);
+  EXPECT_DOUBLE_EQ(Vec2(0.0, -1.0).angle(), -std::numbers::pi / 2);
+}
+
+TEST(Vec2Test, NormalizedHasUnitLength) {
+  const Vec2 v = Vec2{3.0, -7.0}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+}
+
+TEST(Vec2Test, PerpIsCounterClockwiseQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_EQ(v.perp(), Vec2(0.0, 1.0));
+  EXPECT_NEAR(v.dot(v.perp()), 0.0, 1e-15);
+}
+
+TEST(Vec2Test, RotatedPreservesNormAndRotates) {
+  const Vec2 v{2.0, 0.0};
+  const Vec2 r = v.rotated(std::numbers::pi / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 2.0, 1e-12);
+  EXPECT_NEAR(r.norm(), v.norm(), 1e-12);
+}
+
+TEST(Vec2Test, DistanceHelpers) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(Vec2Test, ApproxEqualUsesTolerance) {
+  EXPECT_TRUE(approx_equal(Vec2{1.0, 1.0}, Vec2{1.0 + 1e-12, 1.0 - 1e-12}));
+  EXPECT_FALSE(approx_equal(Vec2{1.0, 1.0}, Vec2{1.0 + 1e-6, 1.0}));
+}
+
+TEST(Vec2Test, MidpointAndLerp) {
+  EXPECT_EQ(midpoint({0.0, 0.0}, {2.0, 4.0}), Vec2(1.0, 2.0));
+  EXPECT_EQ(lerp({0.0, 0.0}, {2.0, 4.0}, 0.25), Vec2(0.5, 1.0));
+  EXPECT_EQ(lerp({1.0, 1.0}, {3.0, 3.0}, 0.0), Vec2(1.0, 1.0));
+  EXPECT_EQ(lerp({1.0, 1.0}, {3.0, 3.0}, 1.0), Vec2(3.0, 3.0));
+}
+
+TEST(Vec2Test, UnitAtLiesOnUnitCircle) {
+  for (int k = 0; k < 16; ++k) {
+    const double theta = 2.0 * std::numbers::pi * k / 16.0;
+    const Vec2 u = unit_at(theta);
+    EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+    EXPECT_NEAR(u.angle(), std::atan2(u.y, u.x), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mldcs::geom

@@ -1,0 +1,112 @@
+// Tests for the HELLO beacon exchange: discovered tables must equal the
+// ground-truth graph neighborhoods, and byte accounting must follow the
+// encoding arithmetic.
+
+#include "net/hello.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::net {
+namespace {
+
+DiskGraph small_random_graph(std::uint64_t seed, double degree = 6) {
+  DeploymentParams p;
+  p.target_avg_degree = degree;
+  p.model = RadiusModel::kUniform;
+  sim::Xoshiro256 rng(seed);
+  return generate_graph(p, rng);
+}
+
+TEST(BeaconEncodingTest, SizesFollowArithmetic) {
+  const BeaconEncoding enc;
+  EXPECT_EQ(enc.hello1_size(), 28u);
+  EXPECT_EQ(enc.hello2_size(0), 28u);
+  EXPECT_EQ(enc.hello2_size(5), 28u + 5 * 28u);
+}
+
+TEST(HelloTest, Round1TablesMatchGraphNeighbors) {
+  const DiskGraph g = small_random_graph(7);
+  const auto tables = run_hello_round1(g);
+  ASSERT_EQ(tables.size(), g.size());
+  for (NodeId u = 0; u < g.size(); ++u) {
+    const auto nb = g.neighbors(u);
+    ASSERT_EQ(tables[u].one_hop.size(), nb.size()) << "node " << u;
+    for (std::size_t k = 0; k < nb.size(); ++k) {
+      EXPECT_EQ(tables[u].one_hop[k].id, nb[k]);
+      EXPECT_EQ(tables[u].one_hop[k].pos, g.node(nb[k]).pos);
+      EXPECT_DOUBLE_EQ(tables[u].one_hop[k].radius, g.node(nb[k]).radius);
+    }
+  }
+}
+
+TEST(HelloTest, Round2DeliversTwoHopView) {
+  const DiskGraph g = small_random_graph(11);
+  auto tables = run_hello_round1(g);
+  run_hello_round2(g, tables);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    EXPECT_EQ(two_hop_from_table(tables[u], u), g.two_hop_neighbors(u))
+        << "node " << u;
+  }
+}
+
+TEST(HelloTest, Round2ViaListsMirrorNeighborsNeighbors) {
+  const DiskGraph g = small_random_graph(13);
+  auto tables = run_hello_round1(g);
+  run_hello_round2(g, tables);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    const auto& t = tables[u];
+    ASSERT_EQ(t.via.size(), t.one_hop.size());
+    for (std::size_t k = 0; k < t.one_hop.size(); ++k) {
+      const NodeId v = t.one_hop[k].id;
+      EXPECT_EQ(t.via[k].size(), g.degree(v));
+    }
+  }
+}
+
+TEST(HelloTest, Hello1CostIsLinearInNodes) {
+  const DiskGraph g = small_random_graph(17);
+  const auto c = hello1_cost(g);
+  EXPECT_EQ(c.messages, g.size());
+  EXPECT_EQ(c.bytes, g.size() * BeaconEncoding{}.hello1_size());
+}
+
+TEST(HelloTest, Hello2CostGrowsWithDegree) {
+  const DiskGraph g = small_random_graph(19);
+  const auto c1 = hello1_cost(g);
+  const auto c2 = hello2_cost(g);
+  EXPECT_EQ(c2.messages, c1.messages);
+  EXPECT_GT(c2.bytes, c1.bytes);  // 2-hop HELLOs carry neighbor lists
+  // Exact arithmetic: sum of per-node hello2 sizes.
+  std::uint64_t expected = 0;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    expected += BeaconEncoding{}.hello2_size(g.degree(u));
+  }
+  EXPECT_EQ(c2.bytes, expected);
+}
+
+TEST(HelloTest, IsolatedNodeLearnsNothing) {
+  const DiskGraph g =
+      DiskGraph::build({{0, {0, 0}, 1.0}, {1, {10, 10}, 1.0}});
+  auto tables = run_hello_round1(g);
+  run_hello_round2(g, tables);
+  EXPECT_TRUE(tables[0].one_hop.empty());
+  EXPECT_TRUE(two_hop_from_table(tables[0], 0).empty());
+}
+
+TEST(HelloTest, TwoHopFromTableExcludesSelfAndOneHop) {
+  // Triangle 0-1-2 plus a pendant 3 on node 2.
+  const DiskGraph g = DiskGraph::build({{0, {0, 0}, 1.0},
+                                        {1, {1, 0}, 1.0},
+                                        {2, {0.5, 0.8}, 1.0},
+                                        {3, {0.5, 1.7}, 1.0}});
+  auto tables = run_hello_round1(g);
+  run_hello_round2(g, tables);
+  // Node 0: 1-hop {1,2}; 2-hop {3} via 2.
+  EXPECT_EQ(two_hop_from_table(tables[0], 0), (std::vector<NodeId>{3}));
+}
+
+}  // namespace
+}  // namespace mldcs::net

@@ -1,0 +1,108 @@
+// Tests for deployment serialization: round trips, comment handling, and
+// failure injection on malformed input.
+
+#include "net/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::net {
+namespace {
+
+TEST(IoTest, RoundTripPreservesNodesExactly) {
+  DeploymentParams p;
+  p.model = RadiusModel::kUniform;
+  p.target_avg_degree = 5;
+  sim::Xoshiro256 rng(77);
+  const auto original = generate_deployment(p, rng);
+
+  std::stringstream buf;
+  write_deployment(buf, original, "round-trip test");
+  const auto loaded = read_deployment(buf);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, i);
+    // 17 significant digits round-trip doubles exactly.
+    EXPECT_EQ(loaded[i].pos, original[i].pos) << "node " << i;
+    EXPECT_EQ(loaded[i].radius, original[i].radius) << "node " << i;
+  }
+}
+
+TEST(IoTest, CommentsAndBlanksIgnored) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "node 1.0 2.0 3.0   # trailing comment\n"
+      "   \t  \n"
+      "node -1.5 0 2\n");
+  const auto nodes = read_deployment(in);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(nodes[0].pos.x, 1.0);
+  EXPECT_DOUBLE_EQ(nodes[1].pos.x, -1.5);
+  EXPECT_EQ(nodes[1].id, 1u);
+}
+
+TEST(IoTest, EmptyInputGivesEmptyDeployment) {
+  std::istringstream in("# nothing here\n");
+  EXPECT_TRUE(read_deployment(in).empty());
+}
+
+TEST(IoTest, RejectsUnknownTag) {
+  std::istringstream in("vertex 1 2 3\n");
+  EXPECT_THROW(read_deployment(in), DeploymentParseError);
+}
+
+TEST(IoTest, RejectsMissingFields) {
+  std::istringstream in("node 1.0 2.0\n");
+  EXPECT_THROW(read_deployment(in), DeploymentParseError);
+}
+
+TEST(IoTest, RejectsTrailingGarbage) {
+  std::istringstream in("node 1 2 3 4\n");
+  EXPECT_THROW(read_deployment(in), DeploymentParseError);
+}
+
+TEST(IoTest, RejectsNonNumericFields) {
+  std::istringstream in("node one 2 3\n");
+  EXPECT_THROW(read_deployment(in), DeploymentParseError);
+}
+
+TEST(IoTest, RejectsNegativeRadius) {
+  std::istringstream in("node 0 0 -1\n");
+  EXPECT_THROW(read_deployment(in), DeploymentParseError);
+}
+
+TEST(IoTest, ErrorMessageCarriesLineNumber) {
+  std::istringstream in(
+      "node 0 0 1\n"
+      "node 1 0 1\n"
+      "bogus line\n");
+  try {
+    (void)read_deployment(in);
+    FAIL() << "expected DeploymentParseError";
+  } catch (const DeploymentParseError& err) {
+    EXPECT_NE(std::string(err.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(IoTest, FileHelpersRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mldcs_io_test.txt";
+  const std::vector<Node> nodes{{0, {1, 2}, 3.0}, {1, {4, 5}, 6.0}};
+  save_deployment(path, nodes, "file helper test");
+  const auto loaded = load_deployment(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].pos, (geom::Vec2{4, 5}));
+}
+
+TEST(IoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_deployment("/nonexistent/path/xyz.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mldcs::net

@@ -1,0 +1,112 @@
+// Tests for the random-waypoint mobility model.
+
+#include "net/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace mldcs::net {
+namespace {
+
+DeploymentParams small_deploy() {
+  DeploymentParams p;
+  p.target_avg_degree = 5;
+  p.model = RadiusModel::kUniform;
+  return p;
+}
+
+TEST(MobilityTest, InitialSnapshotMatchesDeployment) {
+  sim::Xoshiro256 rng(1);
+  const MobileNetwork net(small_deploy(), {}, rng);
+  EXPECT_GT(net.nodes().size(), 100u);
+  EXPECT_DOUBLE_EQ(net.nodes()[0].pos.x, 6.25);  // source at the center
+  EXPECT_DOUBLE_EQ(net.total_distance(), 0.0);
+}
+
+TEST(MobilityTest, NodesStayInsideTheSquare) {
+  sim::Xoshiro256 rng(2);
+  WaypointParams wp;
+  wp.v_min = 0.5;
+  wp.v_max = 2.0;
+  wp.pause = 0.0;
+  MobileNetwork net(small_deploy(), wp, rng);
+  for (int t = 0; t < 50; ++t) {
+    net.step(1.0, rng);
+    for (const Node& n : net.nodes()) {
+      EXPECT_GE(n.pos.x, 0.0);
+      EXPECT_LE(n.pos.x, net.side());
+      EXPECT_GE(n.pos.y, 0.0);
+      EXPECT_LE(n.pos.y, net.side());
+    }
+  }
+}
+
+TEST(MobilityTest, DistanceAccumulatesAndRespectsSpeedBound) {
+  sim::Xoshiro256 rng(3);
+  WaypointParams wp;
+  wp.v_min = 0.1;
+  wp.v_max = 0.4;
+  wp.pause = 0.0;
+  MobileNetwork net(small_deploy(), wp, rng);
+  const std::size_t n = net.nodes().size();
+  const double dt = 5.0;
+  net.step(dt, rng);
+  EXPECT_GT(net.total_distance(), 0.0);
+  // No node can travel faster than v_max.
+  EXPECT_LE(net.total_distance(), static_cast<double>(n) * wp.v_max * dt * 1.001);
+}
+
+TEST(MobilityTest, PauseFreezesMotionInitiallyArrivedNodes) {
+  sim::Xoshiro256 rng(4);
+  WaypointParams wp;
+  wp.v_min = 10.0;  // reach the first waypoint almost immediately
+  wp.v_max = 10.0;
+  wp.pause = 1000.0;  // then pause ~forever
+  MobileNetwork net(small_deploy(), wp, rng);
+  net.step(5.0, rng);  // everyone arrives and starts pausing
+  const double d1 = net.total_distance();
+  net.step(5.0, rng);  // still pausing
+  EXPECT_NEAR(net.total_distance(), d1, 1e-9);
+}
+
+TEST(MobilityTest, DeterministicGivenSeed) {
+  WaypointParams wp;
+  sim::Xoshiro256 rng1(5), rng2(5);
+  MobileNetwork a(small_deploy(), wp, rng1);
+  MobileNetwork b(small_deploy(), wp, rng2);
+  for (int t = 0; t < 10; ++t) {
+    a.step(0.7, rng1);
+    b.step(0.7, rng2);
+  }
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    EXPECT_EQ(a.nodes()[i].pos, b.nodes()[i].pos);
+  }
+}
+
+TEST(MobilityTest, TopologyActuallyChanges) {
+  sim::Xoshiro256 rng(6);
+  WaypointParams wp;
+  wp.v_min = 0.3;
+  wp.v_max = 1.0;
+  wp.pause = 0.0;
+  MobileNetwork net(small_deploy(), wp, rng);
+  const DiskGraph before = net.snapshot();
+  for (int t = 0; t < 20; ++t) net.step(1.0, rng);
+  const DiskGraph after = net.snapshot();
+  EXPECT_NE(before.edge_count(), after.edge_count());
+}
+
+TEST(MobilityTest, RadiiAreUnchangedByMotion) {
+  sim::Xoshiro256 rng(7);
+  MobileNetwork net(small_deploy(), {}, rng);
+  std::vector<double> radii;
+  for (const Node& n : net.nodes()) radii.push_back(n.radius);
+  for (int t = 0; t < 10; ++t) net.step(1.0, rng);
+  for (std::size_t i = 0; i < radii.size(); ++i) {
+    EXPECT_DOUBLE_EQ(net.nodes()[i].radius, radii[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mldcs::net

@@ -1,0 +1,164 @@
+// Tests for the Chapter 5 deployment generators: node-count calibration,
+// determinism, radius models, and the average-degree match.
+
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/angle.hpp"
+#include "sim/stats.hpp"
+
+namespace mldcs::net {
+namespace {
+
+TEST(TopologyTest, ExpectedMinRadiusSqHomogeneous) {
+  DeploymentParams p;
+  p.model = RadiusModel::kHomogeneous;
+  p.r_fixed = 1.0;
+  EXPECT_DOUBLE_EQ(expected_min_radius_sq(p), 1.0);
+  p.r_fixed = 2.0;
+  EXPECT_DOUBLE_EQ(expected_min_radius_sq(p), 4.0);
+}
+
+TEST(TopologyTest, ExpectedMinRadiusSqUniform12Is11Sixths) {
+  DeploymentParams p;
+  p.model = RadiusModel::kUniform;
+  p.r_min = 1.0;
+  p.r_max = 2.0;
+  EXPECT_NEAR(expected_min_radius_sq(p), 11.0 / 6.0, 1e-12);
+}
+
+TEST(TopologyTest, ExpectedMinRadiusSqDegenerateUniform) {
+  DeploymentParams p;
+  p.model = RadiusModel::kUniform;
+  p.r_min = 1.5;
+  p.r_max = 1.5;
+  EXPECT_DOUBLE_EQ(expected_min_radius_sq(p), 2.25);
+}
+
+TEST(TopologyTest, ExpectedMinRadiusSqMonteCarloAgreement) {
+  DeploymentParams p;
+  p.model = RadiusModel::kUniform;
+  p.r_min = 1.0;
+  p.r_max = 2.0;
+  sim::Xoshiro256 rng(123);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double m = std::min(rng.uniform(1.0, 2.0), rng.uniform(1.0, 2.0));
+    acc += m * m;
+  }
+  EXPECT_NEAR(acc / n, expected_min_radius_sq(p), 0.01);
+}
+
+TEST(TopologyTest, NodeCountMatchesPaperFormulaHomogeneous) {
+  DeploymentParams p;  // side 12.5, r = 1
+  p.target_avg_degree = 10;
+  // (12.5^2 / pi) * 10 = 497.36... -> 497
+  EXPECT_EQ(node_count_for(p), 497u);
+  p.target_avg_degree = 20;
+  EXPECT_EQ(node_count_for(p), 995u);
+}
+
+TEST(TopologyTest, DeploymentIsDeterministicPerSeed) {
+  DeploymentParams p;
+  p.target_avg_degree = 6;
+  sim::Xoshiro256 rng1(42), rng2(42), rng3(43);
+  const auto a = generate_deployment(p, rng1);
+  const auto b = generate_deployment(p, rng2);
+  const auto c = generate_deployment(p, rng3);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].pos == b[i].pos) || a[i].radius != b[i].radius) {
+      all_equal = false;
+    }
+  }
+  EXPECT_TRUE(all_equal);
+  // Different seed -> different deployment (overwhelmingly likely).
+  bool any_diff = a.size() != c.size();
+  for (std::size_t i = 1; !any_diff && i < std::min(a.size(), c.size()); ++i) {
+    any_diff = !(a[i].pos == c[i].pos);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TopologyTest, SourceIsAtCenter) {
+  DeploymentParams p;
+  p.target_avg_degree = 4;
+  sim::Xoshiro256 rng(1);
+  const auto nodes = generate_deployment(p, rng);
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_DOUBLE_EQ(nodes[0].pos.x, 6.25);
+  EXPECT_DOUBLE_EQ(nodes[0].pos.y, 6.25);
+}
+
+TEST(TopologyTest, AllNodesInsideTheSquare) {
+  DeploymentParams p;
+  p.target_avg_degree = 8;
+  sim::Xoshiro256 rng(5);
+  for (const Node& n : generate_deployment(p, rng)) {
+    EXPECT_GE(n.pos.x, 0.0);
+    EXPECT_LE(n.pos.x, p.side);
+    EXPECT_GE(n.pos.y, 0.0);
+    EXPECT_LE(n.pos.y, p.side);
+  }
+}
+
+TEST(TopologyTest, HomogeneousRadiiAreFixed) {
+  DeploymentParams p;
+  p.model = RadiusModel::kHomogeneous;
+  p.r_fixed = 1.0;
+  p.target_avg_degree = 5;
+  sim::Xoshiro256 rng(2);
+  for (const Node& n : generate_deployment(p, rng)) {
+    EXPECT_DOUBLE_EQ(n.radius, 1.0);
+  }
+}
+
+TEST(TopologyTest, UniformRadiiStayInRange) {
+  DeploymentParams p;
+  p.model = RadiusModel::kUniform;
+  p.r_min = 1.0;
+  p.r_max = 2.0;
+  p.target_avg_degree = 5;
+  sim::Xoshiro256 rng(3);
+  sim::RunningStats radii;
+  for (const Node& n : generate_deployment(p, rng)) {
+    EXPECT_GE(n.radius, 1.0);
+    EXPECT_LT(n.radius, 2.0);
+    radii.add(n.radius);
+  }
+  EXPECT_NEAR(radii.mean(), 1.5, 0.05);  // uniform mean
+}
+
+/// The calibration claim: measured average degree tracks the target.
+/// Boundary effects pull it slightly below (disks near the edge cover less
+/// of the deployment area), exactly as in the paper's note in Section 5.1.2.
+class DegreeCalibrationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DegreeCalibrationTest, AverageDegreeNearTarget) {
+  for (const RadiusModel model :
+       {RadiusModel::kHomogeneous, RadiusModel::kUniform}) {
+    DeploymentParams p;
+    p.model = model;
+    p.target_avg_degree = GetParam();
+    sim::RunningStats deg;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      sim::Xoshiro256 rng(sim::derive_seed(1000, seed));
+      const DiskGraph g = generate_graph(p, rng);
+      deg.add(g.average_degree());
+    }
+    // Expect within ~20% of target (edge effects reduce it).
+    EXPECT_GT(deg.mean(), 0.7 * p.target_avg_degree);
+    EXPECT_LT(deg.mean(), 1.1 * p.target_avg_degree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeCalibrationTest,
+                         ::testing::Values(6, 10, 16));
+
+}  // namespace
+}  // namespace mldcs::net

@@ -1,0 +1,81 @@
+// Tests for the integer histogram used by the distribution figures.
+
+#include "sim/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mldcs::sim {
+namespace {
+
+TEST(IntHistogramTest, EmptyHistogram) {
+  const IntHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.min_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(IntHistogramTest, AddAndCount) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 1u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.count(100), 0u);  // past the end is zero, not UB
+}
+
+TEST(IntHistogramTest, MinMaxValues) {
+  IntHistogram h;
+  h.add(5);
+  h.add(2);
+  h.add(9);
+  EXPECT_EQ(h.min_value(), 2u);
+  EXPECT_EQ(h.max_value(), 9u);
+}
+
+TEST(IntHistogramTest, MeanAndMode) {
+  IntHistogram h;
+  for (std::uint64_t v : {1u, 2u, 2u, 3u}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_EQ(h.mode(), 2u);
+}
+
+TEST(IntHistogramTest, ModeTieGoesToSmallestBin) {
+  IntHistogram h;
+  h.add(4);
+  h.add(6);
+  EXPECT_EQ(h.mode(), 4u);
+}
+
+TEST(IntHistogramTest, CountAboveThreshold) {
+  IntHistogram h;
+  for (std::uint64_t v : {10u, 20u, 25u, 30u}) h.add(v);
+  EXPECT_EQ(h.count_above(25), 1u);   // only 30
+  EXPECT_EQ(h.count_above(9), 4u);
+  EXPECT_EQ(h.count_above(30), 0u);
+}
+
+TEST(IntHistogramTest, AddAllFromSpan) {
+  IntHistogram h;
+  const std::vector<std::uint64_t> values{1, 1, 2, 5};
+  h.add_all(values);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(IntHistogramTest, ZeroBinWorks) {
+  IntHistogram h;
+  h.add(0);
+  h.add(0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.min_value(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace mldcs::sim

@@ -1,0 +1,104 @@
+// Tests for the deterministic RNG substrate.
+
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mldcs::sim {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 1234;
+  std::uint64_t s2 = 1234;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(DeriveSeedTest, DistinctStreamsGetDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    seeds.insert(derive_seed(7, k));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, IsAPureFunction) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 1));
+}
+
+TEST(Xoshiro256Test, SameSeedSameStream) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, UniformRangeRespected) {
+  Xoshiro256 rng(6);
+  double mean = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform(1.0, 2.0);
+    EXPECT_GE(u, 1.0);
+    EXPECT_LT(u, 2.0);
+    mean += u;
+  }
+  EXPECT_NEAR(mean / n, 1.5, 0.01);  // the paper's U[1,2] radius draw
+}
+
+TEST(Xoshiro256Test, UniformIntInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(7);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 / 5);  // within 20% of expectation
+  }
+}
+
+TEST(Xoshiro256Test, UniformIntZeroIsSafe) {
+  Xoshiro256 rng(8);
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+  EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace mldcs::sim

@@ -1,0 +1,104 @@
+// Tests for streaming statistics.
+
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace mldcs::sim {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Xoshiro256 rng(77);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // empty lhs: becomes rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, Ci95Shrinks) {
+  RunningStats small, large;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(QuantileTest, KnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  const std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(QuantileTest, EmptyAndSingle) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(quantile(none, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.9), 7.0);
+}
+
+TEST(MeanOfTest, Basics) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(mean_of(none), 0.0);
+  const std::vector<double> xs{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+}
+
+}  // namespace
+}  // namespace mldcs::sim

@@ -1,0 +1,84 @@
+// Tests for the thread pool and deterministic parallel_for.
+
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mldcs::sim {
+namespace {
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
+  const ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitSizeRespected) {
+  const ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.parallel_for(3, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  // Each index computes into its own slot; totals must match at any
+  // parallelism level (the determinism contract).
+  const auto run = [](std::size_t threads) {
+    std::vector<double> out(500);
+    parallel_for(
+        500, [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+        threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  const double t1 = run(1);
+  const double t4 = run(4);
+  const double t7 = run(7);
+  EXPECT_DOUBLE_EQ(t1, t4);
+  EXPECT_DOUBLE_EQ(t1, t7);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto this_thread = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(5);
+  pool.parallel_for(5, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, this_thread);
+}
+
+}  // namespace
+}  // namespace mldcs::sim
