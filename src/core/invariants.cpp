@@ -1,0 +1,180 @@
+#include "core/invariants.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "core/mldcs.hpp"
+#include "core/skyline_reference.hpp"
+#include "geometry/angle.hpp"
+#include "geometry/radial.hpp"
+#include "geometry/tolerance.hpp"
+
+namespace mldcs::core {
+
+namespace {
+
+std::atomic<InvariantAction> g_action{InvariantAction::kAbort};
+std::atomic<std::uint64_t> g_failures{0};
+std::mutex g_first_failure_mutex;
+std::string g_first_failure;  // guarded by g_first_failure_mutex
+
+}  // namespace
+
+void set_invariant_action(InvariantAction action) noexcept {
+  g_action.store(action, std::memory_order_relaxed);
+}
+
+InvariantAction invariant_action() noexcept {
+  return g_action.load(std::memory_order_relaxed);
+}
+
+std::uint64_t invariant_failure_count() noexcept {
+  return g_failures.load(std::memory_order_relaxed);
+}
+
+std::string first_invariant_failure() {
+  const std::lock_guard<std::mutex> lock(g_first_failure_mutex);
+  return g_first_failure;
+}
+
+void reset_invariant_failures() noexcept {
+  g_failures.store(0, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(g_first_failure_mutex);
+  g_first_failure.clear();
+}
+
+void report_invariant_violation(const char* expr, const char* file, int line,
+                                const std::string& detail) {
+  std::ostringstream os;
+  os << "MLDCS invariant violation: " << expr << "\n  at " << file << ':'
+     << line;
+  if (!detail.empty()) os << "\n  " << detail;
+  const std::string msg = os.str();
+  if (invariant_action() == InvariantAction::kCount) {
+    if (g_failures.fetch_add(1, std::memory_order_relaxed) == 0) {
+      const std::lock_guard<std::mutex> lock(g_first_failure_mutex);
+      if (g_first_failure.empty()) g_first_failure = msg;
+    }
+    return;
+  }
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string check_arc_list(std::span<const Arc> arcs, std::size_t n_disks) {
+  if (arcs.empty()) return {};
+  std::ostringstream msg;
+  if (arcs.front().start != 0.0) {
+    msg << "first arc starts at " << arcs.front().start
+        << " instead of 0 (the +x-axis split convention)";
+    return msg.str();
+  }
+  if (!geom::approx_equal(arcs.back().end, geom::kTwoPi, geom::kAngleTol)) {
+    msg << "last arc ends at " << arcs.back().end
+        << " instead of 2*pi: no cyclic closure at the relay seam";
+    return msg.str();
+  }
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const Arc& a = arcs[i];
+    if (!(a.start < a.end)) {
+      msg << "arc " << i << " (" << a << ") is inverted or empty";
+      return msg.str();
+    }
+    if (a.span() <= geom::kAngleTol) {
+      msg << "arc " << i << " (" << a << ") has sub-tolerance span "
+          << a.span() << " <= kAngleTol = " << geom::kAngleTol
+          << ": slivers must be coalesced by normalize_arcs";
+      return msg.str();
+    }
+    if (a.disk >= n_disks) {
+      msg << "arc " << i << " (" << a << ") references disk " << a.disk
+          << " outside the local set of " << n_disks << " disks";
+      return msg.str();
+    }
+    if (i + 1 < arcs.size()) {
+      if (arcs[i + 1].start != a.end) {
+        msg << "arcs " << i << " and " << i + 1 << " are not exactly "
+            << "contiguous: " << a.end << " vs " << arcs[i + 1].start
+            << " (endpoints must be shared doubles, no drift)";
+        return msg.str();
+      }
+      if (arcs[i + 1].disk == a.disk) {
+        msg << "arcs " << i << " and " << i + 1 << " both come from disk "
+            << a.disk << ": Merge Step 3 must coalesce same-disk neighbors";
+        return msg.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::string check_local_disk_premise(std::span<const geom::Disk> disks,
+                                     geom::Vec2 o) {
+  // describe_local_set_violation is the library's single statement of the
+  // Section 3.2 premise; reuse it so the invariant layer and the public
+  // LocalDiskSet validation can never drift apart.
+  return describe_local_set_violation(disks, o);
+}
+
+std::string check_skyline_minimality(std::span<const geom::Disk> disks,
+                                     const Skyline& sky, double area_tol) {
+  std::ostringstream msg;
+  if (sky.empty()) {
+    if (disks.empty()) return {};
+    msg << "skyline is empty for a non-empty local set of " << disks.size()
+        << " disks";
+    return msg.str();
+  }
+  const geom::Vec2 o = sky.origin();
+  // Every arc must lie on the upper envelope at its midpoint: a kept disk
+  // whose arc is strictly below the envelope is not a boundary contributor
+  // and Theorem 3 no longer certifies it as necessary.
+  const auto arcs = sky.arcs();
+  for (std::size_t k = 0; k < arcs.size(); ++k) {
+    const Arc& a = arcs[k];
+    if (a.disk >= disks.size()) {
+      msg << "arc " << k << " (" << a << ") references disk " << a.disk
+          << " outside the local set of " << disks.size() << " disks";
+      return msg.str();
+    }
+    const double mine = geom::radial_distance(disks[a.disk], o, a.mid());
+    const double best = geom::radial_envelope(disks, o, a.mid());
+    if (mine < best - area_tol) {
+      msg << "arc " << k << " (" << a << ") is not on the envelope at its "
+          << "midpoint: rho = " << mine << " < envelope = " << best
+          << " — disk " << a.disk << " contributes no boundary there";
+      return msg.str();
+    }
+  }
+  // Cross-validate against the O(n^2) brute-force envelope: same skyline
+  // set (minimal cardinality + identical degeneracy resolution) and same
+  // enclosed union area.
+  const Skyline reference = compute_skyline_bruteforce(disks, o);
+  const std::vector<std::size_t> got = sky.skyline_set();
+  const std::vector<std::size_t> want = reference.skyline_set();
+  if (got != want) {
+    msg << "skyline set diverges from the brute-force reference: got {";
+    for (std::size_t i : got) msg << ' ' << i;
+    msg << " } want {";
+    for (std::size_t i : want) msg << ' ' << i;
+    msg << " } — a degeneracy was resolved on different sides";
+    return msg.str();
+  }
+  const double got_area = sky.enclosed_area(disks);
+  const double want_area = reference.enclosed_area(disks);
+  if (std::abs(got_area - want_area) > area_tol) {
+    msg << "enclosed union area " << got_area
+        << " differs from the brute-force reference " << want_area << " by "
+        << std::abs(got_area - want_area) << " > " << area_tol
+        << ": coverage was lost or gained";
+    return msg.str();
+  }
+  return {};
+}
+
+}  // namespace mldcs::core

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file invariants.hpp
+/// The correctness-tooling layer for the core algorithms: the
+/// MLDCS_CHECK / MLDCS_DCHECK macro family plus structured validators for
+/// the geometric invariants that the skyline machinery depends on.
+///
+/// Every degeneracy in this library — tangent disks, coincident centers,
+/// arcs collapsing below kAngleTol — must be resolved on the *same side* by
+/// `compute_skyline` (D&C), `compute_skyline_incremental`, and
+/// `compute_skyline_bruteforce`, or the three stop cross-validating and the
+/// Theorem 3 minimality argument silently breaks.  These validators state
+/// those conventions as checkable predicates and the macros make violations
+/// loud instead of letting them surface later as a wrong cover set.
+///
+/// Failure policy: a failing check prints the expression, location, and a
+/// caller-supplied detail dump, then aborts — unless the process opted into
+/// soft-fail counting (`set_invariant_action(InvariantAction::kCount)`),
+/// in which case failures increment an atomic counter and record the first
+/// message for later inspection (useful in release monitoring and in tests
+/// of the checking machinery itself).
+///
+/// Enablement: MLDCS_CHECK is always compiled in (use it only for O(1)
+/// checks on hot paths).  MLDCS_DCHECK / MLDCS_DCHECK_OK compile to no-ops
+/// unless the build defines MLDCS_ENABLE_INVARIANT_CHECKS (CMake option of
+/// the same name) or NDEBUG is absent — mirroring assert(), which these
+/// macros replace.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include "core/skyline.hpp"
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+
+#if defined(MLDCS_ENABLE_INVARIANT_CHECKS) || !defined(NDEBUG)
+#define MLDCS_INVARIANT_CHECKS_ENABLED 1
+#else
+#define MLDCS_INVARIANT_CHECKS_ENABLED 0
+#endif
+
+namespace mldcs::core {
+
+/// Compile-time mirror of the macro gate, for `if constexpr` wiring.
+inline constexpr bool kInvariantChecksEnabled =
+    MLDCS_INVARIANT_CHECKS_ENABLED != 0;
+
+/// Deep (superlinear) checks such as check_skyline_minimality are skipped
+/// above this input size so debug/sanitizer test runs stay fast.
+inline constexpr std::size_t kDeepCheckMaxDisks = 96;
+
+/// What a failing MLDCS_CHECK / MLDCS_DCHECK does.
+enum class InvariantAction {
+  kAbort,  ///< print to stderr and std::abort() (default)
+  kCount,  ///< increment invariant_failure_count(), record first message
+};
+
+/// Set the process-wide failure action.  Thread-safe.
+void set_invariant_action(InvariantAction action) noexcept;
+[[nodiscard]] InvariantAction invariant_action() noexcept;
+
+/// Number of soft-failed checks since the last reset (kCount mode only).
+[[nodiscard]] std::uint64_t invariant_failure_count() noexcept;
+
+/// The message of the first soft-failed check since the last reset, or an
+/// empty string.
+[[nodiscard]] std::string first_invariant_failure();
+
+/// Reset the soft-fail counter and recorded message.
+void reset_invariant_failures() noexcept;
+
+/// Report a failed check.  Called by the macros; aborts or counts per
+/// invariant_action().
+void report_invariant_violation(const char* expr, const char* file, int line,
+                                const std::string& detail);
+
+// --- Structured validators -------------------------------------------------
+// Each returns an empty string when the invariant holds and a human-readable
+// description of the first violation otherwise, so they can be used both via
+// MLDCS_DCHECK_OK and directly from tests.
+
+/// Structural invariants of a skyline arc list (the class comment on
+/// `Skyline`): angles sorted and exactly contiguous, cyclic closure
+/// arcs.front().start == 0 and arcs.back().end == 2*pi at the relay seam,
+/// no arc narrower than kAngleTol (sub-tolerance slivers must have been
+/// coalesced), adjacent arcs from different disks, and all disk indices
+/// below `n_disks` (pass SIZE_MAX to skip the bound).
+[[nodiscard]] std::string check_arc_list(
+    std::span<const Arc> arcs,
+    std::size_t n_disks = std::numeric_limits<std::size_t>::max());
+
+/// The local-disk-set premise (paper Section 3.2): every disk is finite,
+/// non-negative, and contains the relay `o` — the geometric form of the
+/// bidirectional-link rule (||o - u_i|| <= r_i means u_i hears o and o
+/// hears u_i at radius r_i).
+[[nodiscard]] std::string check_local_disk_premise(
+    std::span<const geom::Disk> disks, geom::Vec2 o);
+
+/// Theorem 3 contract of a computed skyline: every kept disk contributes a
+/// genuine boundary arc (its radial distance attains the envelope at the
+/// arc midpoint, and the arc is wider than kAngleTol), the skyline set
+/// equals the O(n^2) brute-force reference's set, and the enclosed union
+/// area matches the reference within `area_tol` (absolute, on the paper's
+/// O(10)-sized deployments).  Cost: O(n^2) — gate with kDeepCheckMaxDisks.
+[[nodiscard]] std::string check_skyline_minimality(
+    std::span<const geom::Disk> disks, const Skyline& sky,
+    double area_tol = 1e-7);
+
+}  // namespace mldcs::core
+
+// --- Macro family ----------------------------------------------------------
+
+/// Always-compiled check; keep the condition O(1) on hot paths.  `msg` is a
+/// stream expression evaluated only on failure:
+///   MLDCS_CHECK(a.start < a.end, "inverted arc " << a);
+#define MLDCS_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      std::ostringstream mldcs_check_os_;                                   \
+      mldcs_check_os_ << msg; /* NOLINT(bugprone-macro-parentheses): */     \
+      /* msg is a << chain by contract, parenthesizing would break it */    \
+      ::mldcs::core::report_invariant_violation(#cond, __FILE__, __LINE__,  \
+                                                mldcs_check_os_.str());     \
+    }                                                                       \
+  } while (false)
+
+/// Always-compiled form for validators returning an error string; fails
+/// when the string is non-empty and uses it as the detail dump.
+#define MLDCS_CHECK_OK(expr)                                                \
+  do {                                                                      \
+    const std::string mldcs_check_err_ = (expr);                            \
+    if (!mldcs_check_err_.empty()) [[unlikely]] {                           \
+      ::mldcs::core::report_invariant_violation(#expr, __FILE__, __LINE__,  \
+                                                mldcs_check_err_);          \
+    }                                                                       \
+  } while (false)
+
+#if MLDCS_INVARIANT_CHECKS_ENABLED
+#define MLDCS_DCHECK(cond, msg) MLDCS_CHECK(cond, msg)
+#define MLDCS_DCHECK_OK(expr) MLDCS_CHECK_OK(expr)
+#else
+// Disabled: the arguments are not evaluated (like assert under NDEBUG).
+#define MLDCS_DCHECK(cond, msg) static_cast<void>(0)
+#define MLDCS_DCHECK_OK(expr) static_cast<void>(0)
+#endif

@@ -4,8 +4,8 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 
+#include "core/invariants.hpp"
 #include "geometry/angle.hpp"
 #include "geometry/circle_intersect.hpp"
 #include "geometry/radial.hpp"
@@ -56,6 +56,11 @@ void resolve_span(double alpha, double beta, std::size_t i, std::size_t j,
     if (geom::distance2(p, o) <= geom::kTol * geom::kTol) return;  // p == o
     const double ang = geom::normalize_angle((p - o).angle());
     if (ang > alpha + kAngleTol && ang < beta - kAngleTol) {
+      MLDCS_CHECK(n_cuts < cuts.size(),
+                  "cut buffer overflow at angle " << ang << " on span ["
+                                                  << alpha << ", " << beta
+                                                  << "] for disks " << i
+                                                  << "/" << j);
       cuts[n_cuts++] = ang;
     }
   };
@@ -74,6 +79,9 @@ void resolve_span(double alpha, double beta, std::size_t i, std::size_t j,
     const int nz = geom::radial_zero_transitions(disks[disk], o, zeros);
     for (int k = 0; k < nz; ++k) {
       if (zeros[k] > alpha + kAngleTol && zeros[k] < beta - kAngleTol) {
+        MLDCS_CHECK(n_cuts < cuts.size(),
+                    "cut buffer overflow at zero-transition "
+                        << zeros[k] << " of disk " << disk);
         cuts[n_cuts++] = zeros[k];
       }
     }
@@ -111,6 +119,10 @@ std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
                                 geom::Vec2 o, MergeStats* stats) {
   if (sl1.empty()) return {sl2.begin(), sl2.end()};
   if (sl2.empty()) return {sl1.begin(), sl1.end()};
+  // Both inputs must already be full well-formed skylines over [0, 2*pi];
+  // Merge's lockstep walk silently derails on anything less.
+  MLDCS_DCHECK_OK(check_arc_list(sl1, disks.size()));
+  MLDCS_DCHECK_OK(check_arc_list(sl2, disks.size()));
 
   // Step 1 (refinement): the union of both breakpoint sequences, deduped.
   std::vector<double> breaks;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/invariants.hpp"
 #include "core/skyline_dc.hpp"
 #include "geometry/radial.hpp"
 #include "geometry/tolerance.hpp"
@@ -50,6 +51,11 @@ std::vector<std::size_t> mldcs(const LocalDiskSet& set) {
 
 std::vector<std::size_t> mldcs_unchecked(std::span<const geom::Disk> disks,
                                          geom::Vec2 o) {
+  // "Unchecked" means no throwing validation on the release fast path; in
+  // checked builds the premise is still enforced, because a violation here
+  // (a broadcast-layer disk graph with a one-directional link) corrupts the
+  // cover silently instead of failing loudly.
+  MLDCS_DCHECK_OK(check_local_disk_premise(disks, o));
   return compute_skyline(disks, o).skyline_set();
 }
 

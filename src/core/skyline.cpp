@@ -1,9 +1,9 @@
 #include "core/skyline.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 
+#include "core/invariants.hpp"
 #include "geometry/angle.hpp"
 #include "geometry/area.hpp"
 #include "geometry/radial.hpp"
@@ -16,7 +16,7 @@ using geom::kTwoPi;
 
 Skyline::Skyline(geom::Vec2 origin, std::vector<Arc> arcs)
     : origin_(origin), arcs_(std::move(arcs)) {
-  assert(well_formed(arcs_, std::numeric_limits<std::size_t>::max()));
+  MLDCS_DCHECK_OK(check_arc_list(arcs_));
 }
 
 std::vector<std::size_t> Skyline::skyline_set() const {
@@ -138,6 +138,7 @@ std::vector<Arc> normalize_arcs(std::vector<Arc> arcs) {
     // Snapping the last endpoint may create a sliver-free list already; the
     // front/back adjustments preserve contiguity by construction.
   }
+  MLDCS_DCHECK_OK(check_arc_list(out));
   return out;
 }
 

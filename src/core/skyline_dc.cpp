@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/invariants.hpp"
 #include "geometry/angle.hpp"
 
 namespace mldcs::core {
@@ -28,7 +29,16 @@ std::vector<Arc> skyline_range(std::span<const geom::Disk> disks,
 Skyline compute_skyline(std::span<const geom::Disk> disks, geom::Vec2 o,
                         MergeStats* stats) {
   if (disks.empty()) return Skyline{o, {}};
-  return Skyline{o, skyline_range(disks, o, 0, disks.size(), stats)};
+  MLDCS_DCHECK_OK(check_local_disk_premise(disks, o));
+  Skyline sky{o, skyline_range(disks, o, 0, disks.size(), stats)};
+  if constexpr (kInvariantChecksEnabled) {
+    // The full Theorem 3 cross-check is O(n^2); keep it to inputs where the
+    // brute-force reference is cheap so checked test runs stay fast.
+    if (disks.size() <= kDeepCheckMaxDisks) {
+      MLDCS_CHECK_OK(check_skyline_minimality(disks, sky));
+    }
+  }
+  return sky;
 }
 
 }  // namespace mldcs::core

@@ -1,8 +1,7 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
+#include <utility>
 
 namespace mldcs::sim {
 
@@ -11,7 +10,69 @@ ThreadPool::ThreadPool(std::size_t threads)
                             : std::max<std::size_t>(
                                   1, std::thread::hardware_concurrency())) {}
 
-ThreadPool::~ThreadPool() = default;
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_cv_.notify_all();
+  // Workers only exit once the queue is empty, so every task submitted
+  // before (or during, by other tasks) the drain still runs.
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ensure_started() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!threads_.empty() || stopping_) return;
+  threads_.reserve(workers_);
+  for (std::size_t t = 0; t < workers_; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ensure_started();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
@@ -22,27 +83,39 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> threads;
-  threads.reserve(nthreads);
-
   // Static contiguous chunking: chunk t covers [t*n/T, (t+1)*n/T).  Chunk
   // boundaries depend only on (n, T), keeping the schedule deterministic.
+  // Completion is tracked by a local latch, not wait_idle(), so concurrent
+  // submit() traffic from other threads cannot stall this call.
+  struct Latch {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  } latch;
+  latch.remaining = nthreads;
+
   for (std::size_t t = 0; t < nthreads; ++t) {
     const std::size_t lo = t * n / nthreads;
     const std::size_t hi = (t + 1) * n / nthreads;
-    threads.emplace_back([&, lo, hi] {
+    submit([&latch, &body, lo, hi] {
       try {
         for (std::size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        const std::lock_guard<std::mutex> lock(latch.m);
+        if (!latch.error) latch.error = std::current_exception();
+      }
+      {
+        // Notify under the lock: once `remaining` hits 0 the caller may
+        // destroy the latch, so the notify must not happen after release.
+        const std::lock_guard<std::mutex> lock(latch.m);
+        if (--latch.remaining == 0) latch.cv.notify_all();
       }
     });
   }
-  for (auto& th : threads) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock<std::mutex> lock(latch.m);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+  if (latch.error) std::rethrow_exception(latch.error);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,

@@ -1,22 +1,43 @@
 #pragma once
 
 /// \file thread_pool.hpp
-/// A fixed-size worker pool plus a static-chunked parallel_for.
+/// A fixed-size persistent worker pool: a task queue with submit/wait_idle
+/// plus the static-chunked deterministic parallel_for the sweeps use.
 ///
 /// The Chapter 5 sweeps are embarrassingly parallel across (sweep point,
 /// trial) pairs; per the HPC guides we keep parallelism explicit and
-/// deterministic: work items are dealt out in fixed contiguous chunks
+/// deterministic: parallel_for deals work out in fixed contiguous chunks
 /// (no work stealing, no shared RNG), so results are bitwise identical at
-/// any thread count.
+/// any thread count.  The queue side exists for the ROADMAP's async/batched
+/// workloads: tasks may submit further tasks from inside a worker, and
+/// destruction drains every queued task before joining (verified under
+/// ThreadSanitizer by tests/sim/thread_pool_stress_test.cpp).
+///
+/// Concurrency contract:
+///  - submit() is safe from any thread, including from inside a running
+///    task.  Submitting after the destructor has begun (from outside a
+///    task) is a caller bug.
+///  - wait_idle() blocks until the queue is empty and no task is running,
+///    then rethrows the first exception any submitted task threw since the
+///    last wait_idle().
+///  - parallel_for() must be called from outside the pool's own workers
+///    (it blocks the caller until its chunks finish).
+///  - The destructor finishes every queued task (including tasks those
+///    tasks submit) before joining; exceptions from tasks drained during
+///    destruction are swallowed.
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace mldcs::sim {
 
-/// Fixed-size thread pool executing closures; joinable on destruction.
+/// Fixed-size persistent thread pool; workers start lazily on first use.
 class ThreadPool {
  public:
   /// `threads` = 0 selects hardware_concurrency() (at least 1).
@@ -28,13 +49,33 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_; }
 
+  /// Enqueue one task.  Safe from external threads and from inside tasks.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task (transitively) has finished, then
+  /// rethrow the first task exception recorded since the last wait_idle().
+  void wait_idle();
+
   /// Run `body(i)` for every i in [0, n), partitioned into `size()`
   /// contiguous chunks executed concurrently.  Blocks until all complete.
-  /// Exceptions thrown by `body` are rethrown (first one wins).
+  /// Exceptions thrown by `body` are rethrown (first one wins).  Runs
+  /// inline on the calling thread when size() <= 1 or n <= 1.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
+  void ensure_started();  // spawn workers on first submit; callers hold no lock
+  void worker_loop();
+
   std::size_t workers_;
+
+  std::mutex mutex_;
+  std::condition_variable task_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // waiters: queue empty and none active
+  std::deque<std::function<void()>> queue_;     // guarded by mutex_
+  std::vector<std::thread> threads_;            // guarded by mutex_
+  std::size_t active_ = 0;                      // tasks currently executing
+  bool stopping_ = false;                       // guarded by mutex_
+  std::exception_ptr first_error_;              // guarded by mutex_
 };
 
 /// One-shot convenience: parallel_for on a transient pool (or inline when

@@ -29,6 +29,21 @@ void expect_agreement(const std::vector<Disk>& disks, Vec2 o,
   EXPECT_EQ(dc.skyline_set(), bf.skyline_set()) << label;
 }
 
+/// Degeneracies must be resolved on the same side by all three algorithms:
+/// identical skyline sets from the D&C, the incremental reference, and the
+/// brute-force envelope.
+void expect_triple_agreement(const std::vector<Disk>& disks, Vec2 o,
+                             const std::string& label) {
+  const auto dc = compute_skyline(disks, o);
+  const auto inc = compute_skyline_incremental(disks, o);
+  const auto bf = compute_skyline_bruteforce(disks, o);
+  EXPECT_EQ(verify_skyline(dc, disks), "") << label;
+  EXPECT_EQ(dc.skyline_set(), inc.skyline_set()) << label;
+  EXPECT_EQ(dc.skyline_set(), bf.skyline_set()) << label;
+  EXPECT_NEAR(dc.enclosed_area(disks), bf.enclosed_area(disks), 1e-7)
+      << label;
+}
+
 TEST(EdgeCasesTest, RelayOnEveryDiskBoundary) {
   // k disks all passing exactly through o: rho_i has a zero.  The union
   // boundary touches o, the most degenerate star-shaped configuration.
@@ -135,6 +150,63 @@ TEST(EdgeCasesTest, SpikyRadialProfile) {
     disks.push_back(Disk{d * geom::unit_at(a), d + 0.06});
   }
   expect_agreement(disks, {0, 0}, "spiky profile");
+}
+
+TEST(EdgeCasesTest, CoincidentCentersEqualRadii) {
+  // Exactly coincident disks: the tie-break (larger radius, then smaller
+  // index) must keep exactly one representative, identically in all three
+  // algorithms.
+  const Disk twin{{0.3, -0.2}, 1.1};
+  for (const std::size_t copies : {2u, 3u, 6u}) {
+    const std::vector<Disk> disks(copies, twin);
+    expect_triple_agreement(disks, {0, 0},
+                            "coincident x" + std::to_string(copies));
+    EXPECT_EQ(compute_skyline(disks, {0, 0}).skyline_set(),
+              (std::vector<std::size_t>{0}));
+  }
+  // Coincident pair embedded among distinct disks: the pair still yields
+  // one representative and the distinct disks are unaffected.
+  const std::vector<Disk> mixed{{{0.6, 0.0}, 1.0}, twin, twin,
+                                {{-0.5, 0.4}, 1.2}};
+  expect_triple_agreement(mixed, {0, 0}, "coincident pair among distinct");
+}
+
+TEST(EdgeCasesTest, DiskFullyContainingAllOthers) {
+  // One disk dominates the whole set; every algorithm must return exactly
+  // that disk, regardless of its index position.
+  const Disk big{{0.2, 0.1}, 5.0};
+  const std::vector<Disk> small{{{0.4, 0.0}, 1.0},
+                                {{-0.3, 0.2}, 0.8},
+                                {{0.0, -0.5}, 1.2}};
+  for (std::size_t pos = 0; pos <= small.size(); ++pos) {
+    std::vector<Disk> disks = small;
+    disks.insert(disks.begin() + static_cast<std::ptrdiff_t>(pos), big);
+    const std::string label = "big disk at index " + std::to_string(pos);
+    expect_triple_agreement(disks, {0, 0}, label);
+    EXPECT_EQ(compute_skyline(disks, {0, 0}).skyline_set(),
+              (std::vector<std::size_t>{pos}))
+        << label;
+  }
+}
+
+TEST(EdgeCasesTest, ArcEndpointsWithinAngleTol) {
+  // Circles through two common points, one center perturbed by far less
+  // than kAngleTol resolves at the relay: the two pairwise intersection
+  // angles land within tolerance of each other, so breakpoint dedup and
+  // sliver coalescing must fire identically in all three algorithms.
+  const double h = 0.8;
+  for (const double eps : {0.0, 1e-13, 1e-11, 0.4e-9}) {
+    std::vector<Disk> disks;
+    for (const double cx : {-0.6, 0.0, 0.6}) {
+      disks.push_back(Disk{{cx, 0.0}, std::sqrt(cx * cx + h * h)});
+    }
+    // Perturb the last circle so it passes within eps of (0, +-h) instead
+    // of exactly through them.
+    disks.back().center.x += eps;
+    expect_triple_agreement(disks, {0, 0},
+                            "near-coincident breakpoints eps=" +
+                                std::to_string(eps));
+  }
 }
 
 }  // namespace

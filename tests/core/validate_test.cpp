@@ -100,7 +100,9 @@ TEST(ValidateTest, ExclusiveWitnessExistsForSkylineDisks) {
     // The witness must indeed be exclusively covered.
     EXPECT_TRUE(sc.disks[i].contains(*witness, 0.0));
     for (std::size_t j = 0; j < sc.disks.size(); ++j) {
-      if (j != i) EXPECT_FALSE(sc.disks[j].contains(*witness, 0.0));
+      if (j != i) {
+        EXPECT_FALSE(sc.disks[j].contains(*witness, 0.0));
+      }
     }
   }
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Run clang-tidy over src/ using the project's compile database.
+#
+# Usage: tools/run-tidy.sh [build-dir] [extra clang-tidy args...]
+#   build-dir defaults to "build"; it is configured on the fly (with
+#   CMAKE_EXPORT_COMPILE_COMMANDS=ON) when no compile database is found.
+#
+# Environment:
+#   CLANG_TIDY  override the clang-tidy binary (e.g. clang-tidy-18)
+#   TIDY_JOBS   parallel jobs (default: nproc)
+#
+# Exit status: 0 when clang-tidy reports no findings (WarningsAsErrors: '*'
+# in .clang-tidy promotes every finding to an error), or when clang-tidy is
+# not installed (the check is skipped with a notice so that sanitizer-only
+# environments can still run the full local gate); non-zero otherwise.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+find_tidy() {
+  if [[ -n "${CLANG_TIDY:-}" ]]; then
+    command -v "${CLANG_TIDY}" && return 0
+  fi
+  local candidate
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      command -v "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+if ! tidy="$(find_tidy)"; then
+  echo "run-tidy: SKIP — clang-tidy not found on PATH (set CLANG_TIDY to" \
+       "point at a binary). The CI 'tidy' job runs this check." >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run-tidy: no compile database in ${build_dir}; configuring..." >&2
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+echo "run-tidy: ${tidy} over ${#sources[@]} files in src/ (db: ${build_dir})"
+
+jobs="${TIDY_JOBS:-$(nproc)}"
+printf '%s\n' "${sources[@]}" \
+  | xargs -P "${jobs}" -n 1 "${tidy}" -p "${build_dir}" --quiet "$@"
+
+echo "run-tidy: OK — no findings"
