@@ -1,0 +1,368 @@
+/// Performance-tracking suite — the repo's perf trajectory, one JSON per
+/// run (BENCH_skyline.json, uploaded per-commit by the bench-smoke CI job;
+/// format documented in docs/PERFORMANCE.md).
+///
+/// Three measurements:
+///  1. single-relay skyline, narrow-band hard regime (nearly equal radii,
+///     neighbors pushed to the rim, so almost every disk survives into the
+///     skyline): the iterative SkylineWorkspace engine vs the recursive
+///     divide-and-conquer baseline, with heap allocations per call counted
+///     by a replaced global operator new.
+///  2. batched all-relay throughput on the ~1000-node heterogeneous
+///     deployment: compute_all_skylines vs the pre-batch per-relay loop
+///     (LocalView + skyline_forwarding_set) and vs a bare per-relay
+///     compute_skyline loop.
+///  3. DiskGraph::build timings at growing deployment sizes (count-then-
+///     fill CSR construction).
+///
+/// Usage: perf_suite [--quick] [--out PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "broadcast/all_skylines.hpp"
+#include "broadcast/forwarding.hpp"
+#include "broadcast/local_view.hpp"
+#include "core/skyline_dc.hpp"
+#include "core/skyline_reference.hpp"
+#include "geometry/angle.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+
+// --- Global allocation counter ---------------------------------------------
+// Program-wide replacement of the non-aligned operator new/delete pair; the
+// aligned overloads keep their (independent, malloc-consistent) defaults.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace mldcs;
+
+std::uint64_t allocations() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// --- Measurement harness ---------------------------------------------------
+
+struct Measurement {
+  double ns_per_op = 0.0;
+  double allocs_per_op = 0.0;
+  std::uint64_t reps = 0;
+};
+
+/// Repeat `fn` until ~`budget_ns` of wall time is spent (first batch of 1,
+/// doubling), then report per-op time and per-op heap allocations.
+template <typename F>
+Measurement measure(double budget_ns, F&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup: grow workspaces/thread-locals outside the measurement
+  Measurement m;
+  std::uint64_t batch = 1;
+  double total_ns = 0.0;
+  std::uint64_t total_reps = 0;
+  std::uint64_t total_allocs = 0;
+  while (total_ns < budget_ns) {
+    const std::uint64_t a0 = allocations();
+    const auto t0 = clock::now();
+    for (std::uint64_t r = 0; r < batch; ++r) fn();
+    const auto t1 = clock::now();
+    total_allocs += allocations() - a0;
+    total_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    total_reps += batch;
+    batch *= 2;
+  }
+  m.ns_per_op = total_ns / static_cast<double>(total_reps);
+  m.allocs_per_op =
+      static_cast<double>(total_allocs) / static_cast<double>(total_reps);
+  m.reps = total_reps;
+  return m;
+}
+
+// --- Scenario: narrow-band hard regime -------------------------------------
+
+/// Local disk set where nearly every disk survives into the skyline: radii
+/// in the narrow band [1.0, 1.02] and neighbors at 97% of the maximum
+/// bidirectional distance, spread around the circle.  This is the hard
+/// regime for Merge — the arc count stays Θ(n) instead of collapsing to a
+/// few dominating disks.
+std::vector<geom::Disk> narrow_band_set(sim::Xoshiro256& rng, std::size_t n) {
+  std::vector<geom::Disk> disks;
+  disks.reserve(n);
+  const double r0 = 1.01;
+  disks.push_back({{0.0, 0.0}, r0});
+  for (std::size_t i = 1; i < n; ++i) {
+    const double radius = rng.uniform(1.0, 1.02);
+    const double dist = 0.97 * std::min(r0, radius);
+    const double theta = rng.uniform(0.0, geom::kTwoPi);
+    disks.push_back(
+        {{dist * std::cos(theta), dist * std::sin(theta)}, radius});
+  }
+  return disks;
+}
+
+// --- JSON writer ------------------------------------------------------------
+
+struct JsonWriter {
+  std::ostream& os;
+  bool first = true;
+
+  void sep() {
+    if (!first) os << ",";
+    first = false;
+  }
+  void key(const std::string& k) {
+    sep();
+    os << "\"" << k << "\":";
+  }
+  void field(const std::string& k, double v) {
+    key(k);
+    os << v;
+  }
+  void field(const std::string& k, std::uint64_t v) {
+    key(k);
+    os << v;
+  }
+  void field(const std::string& k, const std::string& v) {
+    key(k);
+    os << "\"" << v << "\"";
+  }
+  void open_obj(const char* k = nullptr) {
+    if (k != nullptr) key(k);
+    else sep();
+    os << "{";
+    first = true;
+  }
+  void close_obj() {
+    os << "}";
+    first = false;
+  }
+  void open_arr(const char* k) {
+    key(k);
+    os << "[";
+    first = true;
+  }
+  void close_arr() {
+    os << "]";
+    first = false;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_skyline.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_suite [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+  const double budget_ns = quick ? 3e7 : 3e8;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out.precision(6);
+  JsonWriter j{out};
+
+  sim::ThreadPool pool;
+  std::cout << "perf_suite: " << (quick ? "quick" : "full") << " mode, "
+            << pool.size() << " worker thread(s), writing " << out_path
+            << "\n";
+
+  j.open_obj();
+  j.field("schema", std::string("mldcs-perf-v1"));
+  j.field("mode", std::string(quick ? "quick" : "full"));
+  j.field("threads", static_cast<std::uint64_t>(pool.size()));
+
+  // --- 1. single-relay skyline, workspace vs recursive ---------------------
+  j.open_arr("single_relay_skyline");
+  for (const std::size_t n : {std::size_t{64}, std::size_t{256},
+                              std::size_t{1024}, std::size_t{4096}}) {
+    sim::Xoshiro256 rng(0xBADC0FFEEULL + n);
+    const std::vector<geom::Disk> disks = narrow_band_set(rng, n);
+    const geom::Vec2 o{0.0, 0.0};
+
+    core::SkylineWorkspace ws;
+    std::vector<core::Arc> arcs;
+    const Measurement m_ws = measure(budget_ns, [&] {
+      core::compute_skyline_arcs(disks, o, ws, arcs);
+    });
+    const Measurement m_rec = measure(budget_ns, [&] {
+      const core::Skyline sky = core::compute_skyline_recursive(disks, o);
+      if (sky.arc_count() == 0) std::abort();  // keep the optimizer honest
+    });
+    const double arcs_per_disk =
+        static_cast<double>(arcs.size()) / static_cast<double>(n);
+
+    std::cout << "  skyline n=" << n << ": workspace " << m_ws.ns_per_op
+              << " ns/op (" << m_ws.allocs_per_op << " allocs), recursive "
+              << m_rec.ns_per_op << " ns/op (" << m_rec.allocs_per_op
+              << " allocs)\n";
+
+    j.open_obj();
+    j.field("n_disks", static_cast<std::uint64_t>(n));
+    j.field("skyline_arcs", static_cast<std::uint64_t>(arcs.size()));
+    j.field("arcs_per_disk", arcs_per_disk);
+    j.open_obj("workspace");
+    j.field("ns_per_op", m_ws.ns_per_op);
+    j.field("ops_per_s", 1e9 / m_ws.ns_per_op);
+    j.field("allocs_per_op", m_ws.allocs_per_op);
+    j.field("reps", m_ws.reps);
+    j.close_obj();
+    j.open_obj("recursive");
+    j.field("ns_per_op", m_rec.ns_per_op);
+    j.field("ops_per_s", 1e9 / m_rec.ns_per_op);
+    j.field("allocs_per_op", m_rec.allocs_per_op);
+    j.field("reps", m_rec.reps);
+    j.close_obj();
+    j.field("speedup_vs_recursive", m_rec.ns_per_op / m_ws.ns_per_op);
+    j.field("alloc_ratio_vs_recursive",
+            m_ws.allocs_per_op / (m_rec.allocs_per_op > 0.0
+                                      ? m_rec.allocs_per_op
+                                      : 1.0));
+    j.close_obj();
+  }
+  j.close_arr();
+
+  // --- 2. batched all-relay throughput -------------------------------------
+  // The paper's heterogeneous deployment scaled to ~1000 nodes (side fixed,
+  // degree raised until node_count_for lands at 1000).
+  {
+    net::DeploymentParams p;
+    p.model = net::RadiusModel::kUniform;
+    p.target_avg_degree = 36.8;  // node_count_for(p) ~= 1000 on 12.5 x 12.5
+    sim::Xoshiro256 rng(0x5EEDC0DEULL);
+    const net::DiskGraph g = net::generate_graph(p, rng);
+
+    const Measurement m_batch = measure(budget_ns, [&] {
+      const bcast::AllSkylines all = bcast::compute_all_skylines(g, pool);
+      if (all.size() != g.size()) std::abort();
+    });
+    // The pre-batch loop exactly as tbl_all_relays ran it: LocalView (with
+    // its 2-hop BFS) + per-relay skyline forwarding set.
+    const Measurement m_loop = measure(budget_ns, [&] {
+      std::size_t total = 0;
+      for (net::NodeId u = 0; u < g.size(); ++u) {
+        total += bcast::skyline_forwarding_set(g, bcast::local_view(g, u))
+                     .size();
+      }
+      if (total == 0) std::abort();
+    });
+    // Bare per-relay compute_skyline loop: 1-hop disks only, recursive
+    // engine, no LocalView — isolates the skyline-engine gain.
+    const Measurement m_bare = measure(budget_ns, [&] {
+      std::vector<geom::Disk> disks;
+      std::size_t total = 0;
+      for (net::NodeId u = 0; u < g.size(); ++u) {
+        disks.clear();
+        disks.push_back(g.node(u).disk());
+        for (const net::NodeId v : g.neighbors(u)) {
+          disks.push_back(g.node(v).disk());
+        }
+        total +=
+            core::compute_skyline_recursive(disks, g.node(u).pos).arc_count();
+      }
+      if (total == 0) std::abort();
+    });
+
+    const double n_nodes = static_cast<double>(g.size());
+    std::cout << "  all-relays (" << g.size() << " nodes, avg degree "
+              << g.average_degree() << "): batch " << m_batch.ns_per_op / 1e6
+              << " ms, per-relay loop " << m_loop.ns_per_op / 1e6
+              << " ms, bare skyline loop " << m_bare.ns_per_op / 1e6
+              << " ms => speedup " << m_loop.ns_per_op / m_batch.ns_per_op
+              << "x\n";
+
+    j.open_obj("batch_all_relays");
+    j.field("nodes", static_cast<std::uint64_t>(g.size()));
+    j.field("edges", static_cast<std::uint64_t>(g.edge_count()));
+    j.field("avg_degree", g.average_degree());
+    j.field("batch_ns", m_batch.ns_per_op);
+    j.field("batch_allocs", m_batch.allocs_per_op);
+    j.field("batch_relays_per_s", n_nodes * 1e9 / m_batch.ns_per_op);
+    j.field("per_relay_loop_ns", m_loop.ns_per_op);
+    j.field("per_relay_loop_allocs", m_loop.allocs_per_op);
+    j.field("bare_skyline_loop_ns", m_bare.ns_per_op);
+    j.field("bare_skyline_loop_allocs", m_bare.allocs_per_op);
+    j.field("speedup_vs_per_relay_loop",
+            m_loop.ns_per_op / m_batch.ns_per_op);
+    j.field("speedup_vs_bare_skyline_loop",
+            m_bare.ns_per_op / m_batch.ns_per_op);
+    j.close_obj();
+  }
+
+  // --- 3. graph build ------------------------------------------------------
+  j.open_arr("graph_build");
+  for (const double scale : (quick ? std::vector<double>{1.0, 4.0}
+                                   : std::vector<double>{1.0, 4.0, 16.0})) {
+    net::DeploymentParams p;
+    p.model = net::RadiusModel::kUniform;
+    p.target_avg_degree = 36.8;
+    p.side = 12.5 * std::sqrt(scale);  // constant density: ~1000 * scale nodes
+    sim::Xoshiro256 rng(0xD15C0ULL + static_cast<std::uint64_t>(scale));
+    std::vector<net::Node> nodes = net::generate_deployment(p, rng);
+    const std::size_t n_nodes = nodes.size();
+
+    const Measurement m_build = measure(budget_ns, [&] {
+      std::vector<net::Node> copy = nodes;
+      const net::DiskGraph g = net::DiskGraph::build(std::move(copy));
+      if (g.size() != n_nodes) std::abort();
+    });
+
+    std::cout << "  graph build n=" << n_nodes << ": "
+              << m_build.ns_per_op / 1e6 << " ms ("
+              << m_build.ns_per_op / static_cast<double>(n_nodes)
+              << " ns/node)\n";
+
+    j.open_obj();
+    j.field("nodes", static_cast<std::uint64_t>(n_nodes));
+    j.field("build_ns", m_build.ns_per_op);
+    j.field("ns_per_node",
+            m_build.ns_per_op / static_cast<double>(n_nodes));
+    j.field("allocs_per_build", m_build.allocs_per_op);
+    j.close_obj();
+  }
+  j.close_arr();
+
+  j.close_obj();
+  out << "\n";
+  out.close();
+
+  std::cout << "[OK] wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "broadcast/all_skylines.hpp"
+
+#include <algorithm>
+
+#include "core/skyline_dc.hpp"
+#include "geometry/disk.hpp"
+
+namespace mldcs::bcast {
+
+std::size_t AllSkylines::max_arc_count() const noexcept {
+  std::size_t m = 0;
+  for (const std::uint32_t c : arc_counts_) m = std::max<std::size_t>(m, c);
+  return m;
+}
+
+double AllSkylines::average_forwarding_size() const noexcept {
+  return arc_counts_.empty() ? 0.0
+                             : static_cast<double>(ids_.size()) /
+                                   static_cast<double>(arc_counts_.size());
+}
+
+AllSkylines compute_all_skylines(const net::DiskGraph& g,
+                                 sim::ThreadPool& pool) {
+  const std::size_t n = g.size();
+  AllSkylines out;
+  out.offsets_.assign(n + 1, 0);
+  out.arc_counts_.assign(n, 0);
+  if (n == 0) return out;
+
+  // Each chunk appends its nodes' forwarding sets to a private blob and
+  // records per-node counts in the shared (disjointly indexed) offsets
+  // array; chunks cover contiguous node ranges, so stitching is one
+  // straight copy per chunk after a prefix sum.
+  struct ChunkOut {
+    std::vector<net::NodeId> ids;
+    std::size_t lo = 0;
+  };
+  std::vector<ChunkOut> chunk_out(std::min(pool.size(), n));
+
+  pool.parallel_chunks(n, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    ChunkOut& co = chunk_out[c];
+    co.lo = lo;
+    // Per-chunk scratch, reused across every node of the range: the skyline
+    // engine's workspace plus the local disk set / arc / index buffers.
+    core::SkylineWorkspace ws;
+    ws.reserve(64);
+    std::vector<geom::Disk> disks;
+    std::vector<core::Arc> arcs;
+    std::vector<std::size_t> sky_set;
+    for (std::size_t u = lo; u < hi; ++u) {
+      const net::NodeId id = static_cast<net::NodeId>(u);
+      const auto nb = g.neighbors(id);
+      disks.clear();
+      disks.push_back(g.node(id).disk());
+      for (const net::NodeId v : nb) disks.push_back(g.node(v).disk());
+
+      core::compute_skyline_arcs(disks, g.node(id).pos, ws, arcs);
+      out.arc_counts_[u] = static_cast<std::uint32_t>(arcs.size());
+
+      // Skyline set: sorted unique disk indices.  Disk 0 is the relay
+      // itself — its area was served by the transmission the relay already
+      // made, so it never needs a forwarder (Section 3.2).  Neighbor disks
+      // follow `nb`'s ascending id order, so ascending indices map to
+      // ascending node ids with no re-sort.
+      sky_set.clear();
+      for (const core::Arc& a : arcs) sky_set.push_back(a.disk);
+      std::sort(sky_set.begin(), sky_set.end());
+      sky_set.erase(std::unique(sky_set.begin(), sky_set.end()),
+                    sky_set.end());
+      std::uint32_t count = 0;
+      for (const std::size_t idx : sky_set) {
+        if (idx == 0) continue;
+        co.ids.push_back(nb[idx - 1]);
+        ++count;
+      }
+      out.offsets_[u + 1] = count;  // shifted; prefix-summed below
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) out.offsets_[i + 1] += out.offsets_[i];
+  out.ids_.resize(out.offsets_[n]);
+  for (const ChunkOut& co : chunk_out) {
+    std::copy(co.ids.begin(), co.ids.end(),
+              out.ids_.begin() + out.offsets_[co.lo]);
+  }
+  return out;
+}
+
+}  // namespace mldcs::bcast

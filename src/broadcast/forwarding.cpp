@@ -4,6 +4,7 @@
 
 #include "broadcast/set_cover.hpp"
 #include "core/mldcs.hpp"
+#include "core/skyline_dc.hpp"
 
 namespace mldcs::bcast {
 
@@ -32,13 +33,12 @@ bool supports_heterogeneous(Scheme s) noexcept {
   return s != Scheme::kSelectingForwardingSet;
 }
 
-std::vector<net::NodeId> skyline_forwarding_set(const net::DiskGraph& g,
-                                                const LocalView& view) {
-  const std::vector<geom::Disk> disks = local_disk_set(g, view);
-  const std::vector<std::size_t> sky =
-      core::mldcs_unchecked(disks, g.node(view.self).pos);
-  // Disk 0 is the relay itself; its area was served by the transmission the
-  // relay already made, so it never needs a forwarder (Section 3.2).
+namespace {
+
+/// Disk 0 is the relay itself; its area was served by the transmission the
+/// relay already made, so it never needs a forwarder (Section 3.2).
+std::vector<net::NodeId> sky_set_to_node_ids(
+    const std::vector<std::size_t>& sky, const LocalView& view) {
   std::vector<net::NodeId> out;
   out.reserve(sky.size());
   for (std::size_t idx : sky) {
@@ -47,6 +47,24 @@ std::vector<net::NodeId> skyline_forwarding_set(const net::DiskGraph& g,
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+}  // namespace
+
+std::vector<net::NodeId> skyline_forwarding_set(const net::DiskGraph& g,
+                                                const LocalView& view) {
+  const std::vector<geom::Disk> disks = local_disk_set(g, view);
+  return sky_set_to_node_ids(
+      core::mldcs_unchecked(disks, g.node(view.self).pos), view);
+}
+
+std::vector<net::NodeId> skyline_forwarding_set(const net::DiskGraph& g,
+                                                const LocalView& view,
+                                                core::SkylineWorkspace& ws) {
+  const std::vector<geom::Disk> disks = local_disk_set(g, view);
+  return sky_set_to_node_ids(
+      core::compute_skyline(disks, g.node(view.self).pos, ws).skyline_set(),
+      view);
 }
 
 namespace {
@@ -95,6 +113,13 @@ std::vector<net::NodeId> forwarding_set(const net::DiskGraph& g,
       return optimal_forwarding_set(g, view);
   }
   return {};
+}
+
+std::vector<net::NodeId> forwarding_set(const net::DiskGraph& g,
+                                        const LocalView& view, Scheme scheme,
+                                        core::SkylineWorkspace& ws) {
+  if (scheme == Scheme::kSkyline) return skyline_forwarding_set(g, view, ws);
+  return forwarding_set(g, view, scheme);
 }
 
 std::vector<net::NodeId> forwarding_set(const net::DiskGraph& g,

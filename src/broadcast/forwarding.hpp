@@ -18,6 +18,10 @@
 #include "net/disk_graph.hpp"
 #include "net/node.hpp"
 
+namespace mldcs::core {
+class SkylineWorkspace;
+}  // namespace mldcs::core
+
 namespace mldcs::bcast {
 
 /// Forwarding-set selection scheme.
@@ -57,6 +61,20 @@ enum class Scheme {
 /// O(n log n).
 [[nodiscard]] std::vector<net::NodeId> skyline_forwarding_set(
     const net::DiskGraph& g, const LocalView& view);
+
+/// Workspace overload for sweeps: same result, with the skyline engine's
+/// scratch taken from `ws` (one workspace per thread; see
+/// core::SkylineWorkspace).  forwarding_set(g, view, scheme, ws) routes
+/// Scheme::kSkyline through this and everything else through the plain
+/// overload.
+[[nodiscard]] std::vector<net::NodeId> skyline_forwarding_set(
+    const net::DiskGraph& g, const LocalView& view,
+    core::SkylineWorkspace& ws);
+
+/// Scheme dispatch with a caller-provided skyline workspace.
+[[nodiscard]] std::vector<net::NodeId> forwarding_set(
+    const net::DiskGraph& g, const LocalView& view, Scheme scheme,
+    core::SkylineWorkspace& ws);
 
 /// Chvátal-greedy 2-hop cover (the paper's "greedy algorithm").
 [[nodiscard]] std::vector<net::NodeId> greedy_forwarding_set(

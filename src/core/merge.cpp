@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "core/invariants.hpp"
 #include "geometry/angle.hpp"
@@ -16,10 +17,30 @@ namespace mldcs::core {
 using geom::kAngleTol;
 using geom::kTwoPi;
 
+namespace {
+
+/// Radial distance rho(theta) with the ray direction passed as a unit
+/// vector: rho = dot(rel, u) + sqrt(r^2 - cross(rel, u)^2), where
+/// rel = center - o.  Since dot(rel, u) = d cos(theta - phi) and
+/// cross(rel, u) = d sin(theta - phi), this is RadialDisk::radius_at
+/// term for term — but one sincos shared by both disks replaces a
+/// norm/atan2/sin/cos chain per disk, and this comparison is the hot
+/// operation of Merge (once per emitted sub-span).
+double radial_distance_along(const geom::Disk& d, geom::Vec2 o,
+                             geom::Vec2 u) noexcept {
+  const geom::Vec2 rel = d.center - o;
+  const double across = rel.cross(u);
+  const double radicand = d.radius * d.radius - across * across;
+  return rel.dot(u) + std::sqrt(geom::clamp(radicand, 0.0, radicand));
+}
+
+}  // namespace
+
 std::size_t outer_disk_at(std::span<const geom::Disk> disks, geom::Vec2 o,
                           double theta, std::size_t i, std::size_t j) noexcept {
-  const double ri = geom::radial_distance(disks[i], o, theta);
-  const double rj = geom::radial_distance(disks[j], o, theta);
+  const geom::Vec2 u = geom::unit_at(theta);
+  const double ri = radial_distance_along(disks[i], o, u);
+  const double rj = radial_distance_along(disks[j], o, u);
   if (ri > rj + geom::kTol) return i;
   if (rj > ri + geom::kTol) return j;
   // Radial tie: prefer the larger disk radius, then the smaller index, so
@@ -75,6 +96,13 @@ void resolve_span(double alpha, double beta, std::size_t i, std::size_t j,
   // (Coincident circles never cross transversally; the tie-break inside
   // outer_disk_at picks one of them for the whole span.)
   for (const std::size_t disk : {i, j}) {
+    // Zero transitions exist only when o sits ON the disk's boundary
+    // (|d - r| <= kTol).  Rule the common strictly-interior case out
+    // without a sqrt: |d - r| <= kTol implies
+    // |d^2 - r^2| = |d - r| (d + r) <= kTol (2r + kTol).
+    const double r = disks[disk].radius;
+    const double d2 = geom::distance2(disks[disk].center, o);
+    if (std::fabs(d2 - r * r) > geom::kTol * (2.0 * r + 1.0)) continue;
     double zeros[2];
     const int nz = geom::radial_zero_transitions(disks[disk], o, zeros);
     for (int k = 0; k < nz; ++k) {
@@ -117,15 +145,31 @@ std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
                                 std::span<const Arc> sl2,
                                 std::span<const geom::Disk> disks,
                                 geom::Vec2 o, MergeStats* stats) {
-  if (sl1.empty()) return {sl2.begin(), sl2.end()};
-  if (sl2.empty()) return {sl1.begin(), sl1.end()};
+  std::vector<double> breaks;
+  std::vector<Arc> out;
+  merge_skylines(sl1, sl2, disks, o, breaks, out, stats);
+  return out;
+}
+
+void merge_skylines(std::span<const Arc> sl1, std::span<const Arc> sl2,
+                    std::span<const geom::Disk> disks, geom::Vec2 o,
+                    std::vector<double>& breaks, std::vector<Arc>& out,
+                    MergeStats* stats) {
+  if (sl1.empty()) {
+    out.insert(out.end(), sl2.begin(), sl2.end());
+    return;
+  }
+  if (sl2.empty()) {
+    out.insert(out.end(), sl1.begin(), sl1.end());
+    return;
+  }
   // Both inputs must already be full well-formed skylines over [0, 2*pi];
   // Merge's lockstep walk silently derails on anything less.
   MLDCS_DCHECK_OK(check_arc_list(sl1, disks.size()));
   MLDCS_DCHECK_OK(check_arc_list(sl2, disks.size()));
 
   // Step 1 (refinement): the union of both breakpoint sequences, deduped.
-  std::vector<double> breaks;
+  breaks.clear();
   breaks.reserve(sl1.size() + sl2.size() + 1);
   for (const Arc& a : sl1) breaks.push_back(a.start);
   for (const Arc& a : sl2) breaks.push_back(a.start);
@@ -140,9 +184,9 @@ std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
   else breaks.front() = 0.0;
   breaks.back() = kTwoPi;
 
-  // Step 2: walk both arc lists in lockstep over the refined spans.
-  std::vector<Arc> out;
-  out.reserve(breaks.size() + 4);
+  // Step 2: walk both arc lists in lockstep over the refined spans,
+  // appending raw (possibly fragmented) arcs after the caller's prefix.
+  const std::size_t base = out.size();
   std::size_t p1 = 0;
   std::size_t p2 = 0;
   for (std::size_t k = 0; k + 1 < breaks.size(); ++k) {
@@ -156,8 +200,9 @@ std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
                  stats);
   }
 
-  // Step 3: coalesce neighboring same-disk arcs and restore the invariants.
-  return normalize_arcs(std::move(out));
+  // Step 3: coalesce neighboring same-disk arcs and restore the invariants,
+  // in place on the appended tail.
+  normalize_arcs_in_place(out, base);
 }
 
 }  // namespace mldcs::core

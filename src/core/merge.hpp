@@ -38,6 +38,16 @@ struct MergeStats {
                                               geom::Vec2 o,
                                               MergeStats* stats = nullptr);
 
+/// Workspace overload: append the merged, normalized skyline to `out`
+/// (slots before the call's `out.size()` are left untouched), reusing
+/// `breaks` as breakpoint scratch.  Allocation-free once both buffers have
+/// grown to steady-state capacity — this is the hot path of the iterative
+/// skyline engine.  Neither `sl1` nor `sl2` may alias `out`.
+void merge_skylines(std::span<const Arc> sl1, std::span<const Arc> sl2,
+                    std::span<const geom::Disk> disks, geom::Vec2 o,
+                    std::vector<double>& breaks, std::vector<Arc>& out,
+                    MergeStats* stats = nullptr);
+
 /// Decide which of two disks is the outer one at ray angle `theta`, with the
 /// library tie-break (larger radial distance; ties -> larger disk radius,
 /// then smaller index).  Exposed for tests.

@@ -112,34 +112,41 @@ bool Skyline::well_formed(std::span<const Arc> arcs,
 }
 
 std::vector<Arc> normalize_arcs(std::vector<Arc> arcs) {
-  if (arcs.empty()) return arcs;
-  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
-    return a.start < b.start;
-  });
+  normalize_arcs_in_place(arcs);
+  return arcs;
+}
 
-  std::vector<Arc> out;
-  out.reserve(arcs.size());
-  for (Arc a : arcs) {
-    if (!out.empty()) a.start = out.back().end;  // snap, kill drift
+void normalize_arcs_in_place(std::vector<Arc>& arcs, std::size_t from) {
+  if (arcs.size() <= from) return;
+  std::sort(arcs.begin() + static_cast<std::ptrdiff_t>(from), arcs.end(),
+            [](const Arc& a, const Arc& b) { return a.start < b.start; });
+
+  // Compact in place: `w` is one past the last kept arc.  The read cursor
+  // is always >= w, so reads never see overwritten slots.
+  std::size_t w = from;
+  for (std::size_t r = from; r < arcs.size(); ++r) {
+    Arc a = arcs[r];
+    if (w > from) a.start = arcs[w - 1].end;  // snap, kill drift
     if (a.end - a.start <= kAngleTol) {
       // Empty sliver: extend the previous arc over it instead.
-      if (!out.empty() && a.end > out.back().end) out.back().end = a.end;
+      if (w > from && a.end > arcs[w - 1].end) arcs[w - 1].end = a.end;
       continue;
     }
-    if (!out.empty() && out.back().disk == a.disk) {
-      out.back().end = a.end;  // coalesce same-disk neighbors (Merge Step 3)
+    if (w > from && arcs[w - 1].disk == a.disk) {
+      arcs[w - 1].end = a.end;  // coalesce same-disk neighbors (Merge Step 3)
     } else {
-      out.push_back(a);
+      arcs[w++] = a;
     }
   }
-  if (!out.empty()) {
-    out.front().start = 0.0;
-    out.back().end = kTwoPi;
+  if (w > from) {
+    arcs[from].start = 0.0;
+    arcs[w - 1].end = kTwoPi;
     // Snapping the last endpoint may create a sliver-free list already; the
     // front/back adjustments preserve contiguity by construction.
   }
-  MLDCS_DCHECK_OK(check_arc_list(out));
-  return out;
+  arcs.resize(w);
+  MLDCS_DCHECK_OK(check_arc_list(
+      std::span<const Arc>(arcs.data() + from, arcs.size() - from)));
 }
 
 }  // namespace mldcs::core

@@ -1,44 +1,171 @@
 #include "core/skyline_dc.hpp"
 
+#include <algorithm>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "core/invariants.hpp"
 #include "geometry/angle.hpp"
+#include "geometry/tolerance.hpp"
 
 namespace mldcs::core {
 
 namespace {
 
-/// Skyline of the index range [lo, hi) of `disks`.
-std::vector<Arc> skyline_range(std::span<const geom::Disk> disks,
-                               geom::Vec2 o, std::size_t lo, std::size_t hi,
-                               MergeStats* stats) {
-  if (hi - lo == 1) {
-    // Base case: a single disk's boundary is one full-circle arc, split at
-    // the +x axis by convention (here: one arc [0, 2*pi]).
-    return {Arc{0.0, geom::kTwoPi, lo}};
-  }
-  const std::size_t mid = lo + (hi - lo) / 2;
-  const std::vector<Arc> left = skyline_range(disks, o, lo, mid, stats);
-  const std::vector<Arc> right = skyline_range(disks, o, mid, hi, stats);
-  return merge_skylines(left, right, disks, o, stats);
+/// Partial skyline `i` of the current level.
+std::span<const Arc> level_skyline(const std::vector<Arc>& arcs,
+                                   const std::vector<std::uint32_t>& bounds,
+                                   std::size_t i) {
+  return {arcs.data() + bounds[i],
+          static_cast<std::size_t>(bounds[i + 1] - bounds[i])};
 }
+
+/// Margin for the dominated-disk prefilter.  If dist(u_i, u_j) + r_i <=
+/// r_j - margin, every point of disk i's boundary lies >= margin inside
+/// disk j, so disk i trails disk j's radial envelope by >= margin at every
+/// angle.  With margin >> geom::kTol the dominated disk can never win a
+/// Merge span even under tolerant comparisons, so dropping it leaves the
+/// output bit-identical.  Disks closer than the margin to coincident or
+/// internally tangent (duplicate_set, tangent_pair) are deliberately kept,
+/// preserving the engine's tie-break behavior on degenerate inputs.
+constexpr double kDominanceMargin = 1e-6;
+
+/// Cap on containment tests per disk.  The prefilter scans potential
+/// containers in radius-descending order; adversarial inputs (thousands of
+/// disks in a narrow radius band, nothing dominated) would otherwise turn
+/// it quadratic.  The cap only reduces pruning, never correctness.
+constexpr std::size_t kMaxDominanceChecks = 64;
 
 }  // namespace
 
-Skyline compute_skyline(std::span<const geom::Disk> disks, geom::Vec2 o,
-                        MergeStats* stats) {
-  if (disks.empty()) return Skyline{o, {}};
+void SkylineWorkspace::reserve(std::size_t n_disks) {
+  // Lemma 8: any level's concatenated partial skylines total <= 2n arcs
+  // (each partial skyline of k disks has <= 2k arcs); Merge's raw Step-2
+  // output before coalescing stays within the same constant factor.
+  cur_.reserve(2 * n_disks + 8);
+  next_.reserve(2 * n_disks + 8);
+  bounds_cur_.reserve(n_disks + 1);
+  bounds_next_.reserve(n_disks + 1);
+  breaks_.reserve(2 * n_disks + 8);
+  order_.reserve(n_disks);
+  live_.reserve(n_disks);
+}
+
+void SkylineWorkspace::clear() noexcept {
+  cur_ = {};
+  next_ = {};
+  bounds_cur_ = {};
+  bounds_next_ = {};
+  breaks_ = {};
+  order_ = {};
+  live_ = {};
+}
+
+void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
+                          SkylineWorkspace& ws, std::vector<Arc>& out,
+                          MergeStats* stats) {
+  out.clear();
+  const std::size_t n = disks.size();
+  if (n == 0) return;
   MLDCS_DCHECK_OK(check_local_disk_premise(disks, o));
-  Skyline sky{o, skyline_range(disks, o, 0, disks.size(), stats)};
+
+  // Dominated-disk prefilter: a disk strictly inside another (by more than
+  // kDominanceMargin) contributes no skyline arc, so it can skip the merge
+  // levels entirely.  In the paper's heterogeneous deployments (radii
+  // U[1,2], neighbors within min(r_u, r_v)) a large share of small disks
+  // are swallowed by bigger neighbors, and each dropped disk saves O(log n)
+  // Merge passes over its arcs.  Scanning containers largest-radius-first
+  // lets each disk stop at the first disk too small to contain it.
+  ws.order_.resize(n);
+  std::iota(ws.order_.begin(), ws.order_.end(), 0u);
+  std::sort(ws.order_.begin(), ws.order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (disks[a].radius != disks[b].radius) {
+                return disks[a].radius > disks[b].radius;
+              }
+              return a < b;
+            });
+  ws.live_.clear();
+  for (const std::uint32_t idx : ws.order_) {
+    const geom::Disk& di = disks[idx];
+    bool dominated = false;
+    std::size_t checks = 0;
+    for (const std::uint32_t j : ws.live_) {  // radius-descending
+      const double gap = disks[j].radius - di.radius - kDominanceMargin;
+      if (gap <= 0.0) break;  // no remaining disk is big enough
+      if (geom::distance2(di.center, disks[j].center) <= gap * gap) {
+        dominated = true;
+        break;
+      }
+      if (++checks >= kMaxDominanceChecks) break;
+    }
+    if (!dominated) ws.live_.push_back(idx);
+  }
+  // Restore original disk order so the merge tree (and thus the exact arc
+  // output) depends only on the input, not on the radius sort.
+  std::sort(ws.live_.begin(), ws.live_.end());
+
+  // Level 0: every surviving disk's boundary is one full-circle arc, split
+  // at the +x axis by convention (here: one arc [0, 2*pi]).
+  ws.cur_.clear();
+  ws.bounds_cur_.clear();
+  ws.bounds_cur_.push_back(0);
+  for (std::size_t i = 0; i < ws.live_.size(); ++i) {
+    ws.cur_.push_back(Arc{0.0, geom::kTwoPi, ws.live_[i]});
+    ws.bounds_cur_.push_back(static_cast<std::uint32_t>(i + 1));
+  }
+
+  // Bottom-up passes: merge adjacent pairs until one skyline remains.  An
+  // odd tail skyline is carried to the next level verbatim, so the merge
+  // tree has the same O(log n) depth as the recursive halving and every
+  // disk goes through O(log n) Merges (Theorem 9's bound).
+  std::size_t count = ws.live_.size();
+  while (count > 1) {
+    ws.next_.clear();
+    ws.bounds_next_.clear();
+    ws.bounds_next_.push_back(0);
+    for (std::size_t i = 0; i + 1 < count; i += 2) {
+      merge_skylines(level_skyline(ws.cur_, ws.bounds_cur_, i),
+                     level_skyline(ws.cur_, ws.bounds_cur_, i + 1), disks, o,
+                     ws.breaks_, ws.next_, stats);
+      ws.bounds_next_.push_back(static_cast<std::uint32_t>(ws.next_.size()));
+    }
+    if (count % 2 == 1) {
+      const auto tail = level_skyline(ws.cur_, ws.bounds_cur_, count - 1);
+      ws.next_.insert(ws.next_.end(), tail.begin(), tail.end());
+      ws.bounds_next_.push_back(static_cast<std::uint32_t>(ws.next_.size()));
+    }
+    std::swap(ws.cur_, ws.next_);
+    std::swap(ws.bounds_cur_, ws.bounds_next_);
+    count = ws.bounds_cur_.size() - 1;
+  }
+
+  out.insert(out.end(), ws.cur_.begin(), ws.cur_.end());
+
   if constexpr (kInvariantChecksEnabled) {
     // The full Theorem 3 cross-check is O(n^2); keep it to inputs where the
     // brute-force reference is cheap so checked test runs stay fast.
-    if (disks.size() <= kDeepCheckMaxDisks) {
+    if (n <= kDeepCheckMaxDisks) {
+      const Skyline sky{o, std::vector<Arc>(out.begin(), out.end())};
       MLDCS_CHECK_OK(check_skyline_minimality(disks, sky));
     }
   }
-  return sky;
+}
+
+Skyline compute_skyline(std::span<const geom::Disk> disks, geom::Vec2 o,
+                        SkylineWorkspace& ws, MergeStats* stats) {
+  std::vector<Arc> arcs;
+  compute_skyline_arcs(disks, o, ws, arcs, stats);
+  return Skyline{o, std::move(arcs)};
+}
+
+Skyline compute_skyline(std::span<const geom::Disk> disks, geom::Vec2 o,
+                        MergeStats* stats) {
+  // One workspace per thread: every legacy call site becomes allocation-
+  // free in steady state without signature changes.
+  thread_local SkylineWorkspace tl_workspace;
+  return compute_skyline(disks, o, tl_workspace, stats);
 }
 
 }  // namespace mldcs::core

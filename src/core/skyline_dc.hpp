@@ -6,8 +6,19 @@
 /// skylines.  With Lemma 8 bounding every skyline of n disks to at most 2n
 /// arcs, Merge is O(n) and the whole algorithm is O(n log n) (Theorem 9) —
 /// optimal, since sorting reduces to local-disk-cover computation.
+///
+/// The engine here runs the recursion *iteratively, bottom-up*: level 0
+/// holds n single-disk skylines concatenated in one buffer; each pass
+/// merges adjacent pairs into a second buffer and swaps.  All scratch
+/// lives in a reusable `SkylineWorkspace`, so a relay sweep that computes
+/// thousands of skylines performs no heap allocation after the first call
+/// (the recursive formulation allocated four vectors per Merge — see
+/// `compute_skyline_recursive` in skyline_reference.hpp, kept as the
+/// differential baseline).
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/merge.hpp"
 #include "core/skyline.hpp"
@@ -15,6 +26,43 @@
 #include "geometry/vec2.hpp"
 
 namespace mldcs::core {
+
+/// Reusable scratch for the iterative skyline engine: two ping-pong arc
+/// buffers (each holding a whole level of partial skylines, delimited by a
+/// bounds array) plus the Merge breakpoint scratch.  One workspace serves
+/// any number of sequential compute_skyline calls of any size; it is not
+/// thread-safe — use one per thread (see bcast::compute_all_skylines).
+class SkylineWorkspace {
+ public:
+  SkylineWorkspace() = default;
+
+  SkylineWorkspace(const SkylineWorkspace&) = delete;
+  SkylineWorkspace& operator=(const SkylineWorkspace&) = delete;
+  SkylineWorkspace(SkylineWorkspace&&) = default;
+  SkylineWorkspace& operator=(SkylineWorkspace&&) = default;
+
+  /// Grow the buffers for local disk sets of up to `n_disks` disks, so the
+  /// next compute_skyline call of that size allocates nothing.
+  void reserve(std::size_t n_disks);
+
+  /// Release all scratch memory (buffers regrow on next use).
+  void clear() noexcept;
+
+ private:
+  friend Skyline compute_skyline(std::span<const geom::Disk>, geom::Vec2,
+                                 SkylineWorkspace&, MergeStats*);
+  friend void compute_skyline_arcs(std::span<const geom::Disk>, geom::Vec2,
+                                   SkylineWorkspace&, std::vector<Arc>&,
+                                   MergeStats*);
+
+  std::vector<Arc> cur_;                  ///< level k partial skylines
+  std::vector<Arc> next_;                 ///< level k+1 under construction
+  std::vector<std::uint32_t> bounds_cur_; ///< cur_ skyline i = [b[i], b[i+1])
+  std::vector<std::uint32_t> bounds_next_;
+  std::vector<double> breaks_;            ///< Merge breakpoint scratch
+  std::vector<std::uint32_t> order_;      ///< prefilter: radius-sorted indices
+  std::vector<std::uint32_t> live_;       ///< prefilter: surviving indices
+};
 
 /// Compute the skyline of a local disk set around relay `o` with the
 /// divide-and-conquer algorithm.
@@ -25,8 +73,25 @@ namespace mldcs::core {
 ///
 /// `stats`, when non-null, accumulates Merge instrumentation across all
 /// recursion levels.
+///
+/// Delegates to the workspace engine through a thread-local workspace, so
+/// repeated calls on one thread reuse scratch automatically.
 [[nodiscard]] Skyline compute_skyline(std::span<const geom::Disk> disks,
                                       geom::Vec2 o,
                                       MergeStats* stats = nullptr);
+
+/// Workspace overload: same algorithm and result, with all intermediate
+/// buffers taken from `ws`.  The only allocation is the returned Skyline's
+/// own arc vector; use compute_skyline_arcs to avoid even that.
+[[nodiscard]] Skyline compute_skyline(std::span<const geom::Disk> disks,
+                                      geom::Vec2 o, SkylineWorkspace& ws,
+                                      MergeStats* stats = nullptr);
+
+/// Fully allocation-free form: writes the final arc list into `out`
+/// (cleared first, capacity reused).  The hot path of the batch all-relay
+/// API.
+void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
+                          SkylineWorkspace& ws, std::vector<Arc>& out,
+                          MergeStats* stats = nullptr);
 
 }  // namespace mldcs::core

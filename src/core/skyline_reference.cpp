@@ -66,4 +66,25 @@ Skyline compute_skyline_incremental(std::span<const geom::Disk> disks,
   return Skyline{o, std::move(acc)};
 }
 
+namespace {
+
+/// Skyline of the index range [lo, hi) of `disks`, top-down.
+std::vector<Arc> skyline_range(std::span<const geom::Disk> disks,
+                               geom::Vec2 o, std::size_t lo, std::size_t hi,
+                               MergeStats* stats) {
+  if (hi - lo == 1) return {Arc{0.0, kTwoPi, lo}};
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::vector<Arc> left = skyline_range(disks, o, lo, mid, stats);
+  const std::vector<Arc> right = skyline_range(disks, o, mid, hi, stats);
+  return merge_skylines(left, right, disks, o, stats);
+}
+
+}  // namespace
+
+Skyline compute_skyline_recursive(std::span<const geom::Disk> disks,
+                                  geom::Vec2 o, MergeStats* stats) {
+  if (disks.empty()) return Skyline{o, {}};
+  return Skyline{o, skyline_range(disks, o, 0, disks.size(), stats)};
+}
+
 }  // namespace mldcs::core

@@ -12,6 +12,12 @@
 ///    each disk's full-circle arc into the running skyline — O(n^2); it
 ///    exercises Merge on maximally unbalanced inputs and is also the
 ///    baseline for the Theorem 9 scaling benchmark.
+/// 3. `compute_skyline_recursive` is the original top-down recursive
+///    divide-and-conquer: same O(n log n) span complexity as the iterative
+///    workspace engine in skyline_dc.cpp, but it materializes fresh
+///    left/right/merge vectors at every recursion node — O(n log n) heap
+///    allocations.  Kept as the allocation-count baseline for the perf
+///    suite and as a merge-tree-independent cross-check.
 
 #include <span>
 
@@ -29,6 +35,12 @@ namespace mldcs::core {
 
 /// Incremental insertion skyline (merge one disk at a time).
 [[nodiscard]] Skyline compute_skyline_incremental(
+    std::span<const geom::Disk> disks, geom::Vec2 o,
+    MergeStats* stats = nullptr);
+
+/// Top-down recursive divide-and-conquer skyline (the pre-workspace
+/// implementation): allocates at every recursion node.
+[[nodiscard]] Skyline compute_skyline_recursive(
     std::span<const geom::Disk> disks, geom::Vec2 o,
     MergeStats* stats = nullptr);
 

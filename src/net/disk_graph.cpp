@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "net/spatial_grid.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace mldcs::net {
+
+namespace {
+
+/// Deployments below this size build serially: the paper's per-trial graphs
+/// (hundreds of nodes) are built inside already-parallel trial loops, where
+/// spinning up a transient pool per build would cost more than it saves.
+constexpr std::size_t kParallelBuildThreshold = 4096;
+
+}  // namespace
 
 DiskGraph DiskGraph::build(std::vector<Node> nodes) {
   DiskGraph g;
@@ -12,36 +22,66 @@ DiskGraph DiskGraph::build(std::vector<Node> nodes) {
     nodes[i].id = static_cast<NodeId>(i);
   }
   g.nodes_ = std::move(nodes);
+  const std::size_t n = g.nodes_.size();
 
   double max_r = 0.0;
-  for (const Node& n : g.nodes_) max_r = std::max(max_r, n.radius);
+  for (const Node& node : g.nodes_) max_r = std::max(max_r, node.radius);
   const SpatialGrid grid(g.nodes_, std::max(max_r, 1e-6));
 
-  // A node's neighbors are within min(r_u, r_v) <= r_u of it, so querying
-  // the grid at range r_u and filtering by the bidirectional rule finds all
-  // of them.
-  g.offsets_.assign(g.nodes_.size() + 1, 0);
-  std::vector<std::vector<NodeId>> adj(g.nodes_.size());
-  std::vector<NodeId> scratch;
-  for (const Node& u : g.nodes_) {
-    scratch.clear();
-    grid.query(u.pos, u.radius, u.id, scratch);
-    for (NodeId v : scratch) {
-      if (u.linked_to(g.nodes_[v])) adj[u.id].push_back(v);
-    }
-    std::sort(adj[u.id].begin(), adj[u.id].end());
-  }
+  // Count-then-fill CSR build, no per-node vectors.  A node's neighbors are
+  // within min(r_u, r_v) <= r_u of it, so querying the grid at range r_u
+  // and filtering by the bidirectional rule finds all of them; the grid
+  // query is cheap enough that running it twice (count pass, fill pass)
+  // beats materializing a vector<vector> of all adjacency lists.
+  g.offsets_.assign(n + 1, 0);
 
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < adj.size(); ++i) {
-    g.offsets_[i] = static_cast<std::uint32_t>(total);
-    total += adj[i].size();
-  }
-  g.offsets_[adj.size()] = static_cast<std::uint32_t>(total);
-  g.adjacency_.reserve(total);
-  for (const auto& list : adj) {
-    g.adjacency_.insert(g.adjacency_.end(), list.begin(), list.end());
-  }
+  // Candidates come straight from query_candidates into per-thread scratch
+  // (query() would allocate an intermediate vector per call); linked_to is
+  // stricter than the grid's range filter, so no exactness is lost.
+  const auto count_range = [&g, &grid](std::vector<NodeId>& scratch,
+                                       std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Node& u = g.nodes_[i];
+      scratch.clear();
+      grid.query_candidates(u.pos, u.radius, scratch);
+      std::uint32_t deg = 0;
+      for (NodeId v : scratch) {
+        if (v != u.id && u.linked_to(g.nodes_[v])) ++deg;
+      }
+      g.offsets_[i + 1] = deg;  // shifted; prefix-summed below
+    }
+  };
+  const auto fill_range = [&g, &grid](std::vector<NodeId>& scratch,
+                                      std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Node& u = g.nodes_[i];
+      scratch.clear();
+      grid.query_candidates(u.pos, u.radius, scratch);
+      NodeId* dst = g.adjacency_.data() + g.offsets_[i];
+      NodeId* const first = dst;
+      for (NodeId v : scratch) {
+        if (v != u.id && u.linked_to(g.nodes_[v])) *dst++ = v;
+      }
+      std::sort(first, dst);
+    }
+  };
+
+  const bool parallel = n >= kParallelBuildThreshold;
+  sim::ThreadPool pool(parallel ? 0 : 1);
+  const auto run_pass = [&pool, n](const auto& pass) {
+    pool.parallel_chunks(
+        n, [&pass](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+          // Per-chunk (= per-worker) candidate scratch, reused across the
+          // whole contiguous node range.
+          std::vector<NodeId> scratch;
+          pass(scratch, lo, hi);
+        });
+  };
+
+  run_pass(count_range);
+  for (std::size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adjacency_.resize(g.offsets_[n]);
+  run_pass(fill_range);
   return g;
 }
 

@@ -76,46 +76,10 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  const std::size_t nthreads = std::min(workers_, n);
-  if (nthreads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-
-  // Static contiguous chunking: chunk t covers [t*n/T, (t+1)*n/T).  Chunk
-  // boundaries depend only on (n, T), keeping the schedule deterministic.
-  // Completion is tracked by a local latch, not wait_idle(), so concurrent
-  // submit() traffic from other threads cannot stall this call.
-  struct Latch {
-    std::mutex m;
-    std::condition_variable cv;
-    std::size_t remaining = 0;
-    std::exception_ptr error;
-  } latch;
-  latch.remaining = nthreads;
-
-  for (std::size_t t = 0; t < nthreads; ++t) {
-    const std::size_t lo = t * n / nthreads;
-    const std::size_t hi = (t + 1) * n / nthreads;
-    submit([&latch, &body, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(latch.m);
-        if (!latch.error) latch.error = std::current_exception();
-      }
-      {
-        // Notify under the lock: once `remaining` hits 0 the caller may
-        // destroy the latch, so the notify must not happen after release.
-        const std::lock_guard<std::mutex> lock(latch.m);
-        if (--latch.remaining == 0) latch.cv.notify_all();
-      }
-    });
-  }
-  std::unique_lock<std::mutex> lock(latch.m);
-  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
-  if (latch.error) std::rethrow_exception(latch.error);
+  parallel_chunks(n, [&body](std::size_t /*chunk*/, std::size_t lo,
+                             std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,

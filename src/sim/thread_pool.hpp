@@ -26,6 +26,7 @@
 ///    tasks submit) before joining; exceptions from tasks drained during
 ///    destruction are swallowed.
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -60,9 +61,69 @@ class ThreadPool {
   /// contiguous chunks executed concurrently.  Blocks until all complete.
   /// Exceptions thrown by `body` are rethrown (first one wins).  Runs
   /// inline on the calling thread when size() <= 1 or n <= 1.
+  ///
+  /// Statically dispatched on the callable: the only type erasure is one
+  /// task object per *chunk* (= per worker), never per index.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body) {
+    parallel_chunks(n, [&body](std::size_t /*chunk*/, std::size_t lo,
+                               std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+
+  /// Type-erased overload, kept for ABI users holding a std::function.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Chunk-level form: run `body(chunk, lo, hi)` for each of the <= size()
+  /// contiguous chunks covering [0, n).  `chunk` is a dense index in
+  /// [0, min(size(), n)) — the hook for per-thread scratch (workspaces,
+  /// RNGs): chunk c runs entirely on one worker.  Same chunk boundaries as
+  /// parallel_for (deterministic in (n, size()) only).
+  template <typename F>
+  void parallel_chunks(std::size_t n, F&& body) {
+    if (n == 0) return;
+    const std::size_t nthreads = std::min(workers_, n);
+    if (nthreads <= 1) {
+      body(std::size_t{0}, std::size_t{0}, n);
+      return;
+    }
+    // Static contiguous chunking: chunk t covers [t*n/T, (t+1)*n/T).
+    // Completion is tracked by a local latch, not wait_idle(), so
+    // concurrent submit() traffic from other threads cannot stall us.
+    ChunkLatch latch;
+    latch.remaining = nthreads;
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      const std::size_t lo = t * n / nthreads;
+      const std::size_t hi = (t + 1) * n / nthreads;
+      submit([&latch, &body, t, lo, hi] {
+        try {
+          body(t, lo, hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(latch.m);
+          if (!latch.error) latch.error = std::current_exception();
+        }
+        {
+          // Notify under the lock: once `remaining` hits 0 the caller may
+          // destroy the latch, so the notify must not happen after release.
+          const std::lock_guard<std::mutex> lock(latch.m);
+          if (--latch.remaining == 0) latch.cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(latch.m);
+    latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+    if (latch.error) std::rethrow_exception(latch.error);
+  }
+
  private:
+  struct ChunkLatch {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+
   void ensure_started();  // spawn workers on first submit; callers hold no lock
   void worker_loop();
 
@@ -80,6 +141,14 @@ class ThreadPool {
 
 /// One-shot convenience: parallel_for on a transient pool (or inline when
 /// the machine has a single core — the common case for this repo's CI).
+/// Statically dispatched on the callable, like ThreadPool::parallel_for.
+template <typename F>
+void parallel_for(std::size_t n, F&& body, std::size_t threads = 0) {
+  ThreadPool pool(threads);
+  pool.parallel_for(n, body);
+}
+
+/// Type-erased overload, kept for ABI users holding a std::function.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 

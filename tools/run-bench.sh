@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build the Release perf suite and refresh BENCH_skyline.json at the repo
+# root.  Usage:
+#
+#   tools/run-bench.sh [--quick]
+#
+# --quick cuts the per-measurement time budget ~10x (the CI bench-smoke
+# job uses it); full runs are what get checked in.  See docs/PERFORMANCE.md
+# for the JSON schema.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+cmake --preset release
+cmake --build --preset release --target perf_suite -j "$(nproc)"
+
+./build/release/bench/perf_suite "$@" --out "${repo_root}/BENCH_skyline.json"
+echo "bench results: ${repo_root}/BENCH_skyline.json"
