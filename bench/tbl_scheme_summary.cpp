@@ -52,6 +52,7 @@ int main() {
       rows.push_back({"skyline+prune (net)", {}, {}, 0, 0});
 
       const std::size_t trials = 100;
+      bcast::LocalView view;  // refilled per trial, capacity reused
       for (std::size_t t = 0; t < trials; ++t) {
         net::DeploymentParams p;
         p.model = hetero ? net::RadiusModel::kUniform
@@ -62,7 +63,7 @@ int main() {
             660000 + static_cast<std::uint64_t>(degree) * 10000 +
                 (hetero ? 5000u : 0u) + t));
         const auto g = net::generate_graph(p, rng);
-        const bcast::LocalView view = bcast::local_view(g, 0);
+        bcast::local_view(g, 0, view);
 
         const auto record = [&](Row& row,
                                 const std::vector<net::NodeId>& fwd) {

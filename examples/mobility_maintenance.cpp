@@ -9,17 +9,39 @@
 /// one-period-stale 2-hop data fails to dominate the true 2-hop set,
 /// versus the skyline set which is always computed from fresh 1-hop data.
 ///
+/// The topology itself is maintained *incrementally*: a DynamicDiskGraph
+/// re-buckets only the nodes that moved and diffs only their links, and a
+/// SkylineCache recomputes only the relays whose 1-hop neighborhood
+/// actually changed — while staying bit-identical to a from-scratch sweep
+/// (that is the whole point of the 1-hop locality argument).  The example
+/// reports how many relays each period actually dirtied, and times the
+/// incremental step against a full rebuild.
+///
 /// Usage: mobility_maintenance [periods] [speed] [seed]
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 
+#include "broadcast/all_skylines.hpp"
 #include "broadcast/forwarding.hpp"
+#include "broadcast/skyline_cache.hpp"
+#include "net/dynamic_disk_graph.hpp"
 #include "net/hello.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
 #include "sim/rng.hpp"
 #include "sim/table.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mldcs;
@@ -39,10 +61,18 @@ int main(int argc, char** argv) {
   sim::Xoshiro256 rng(seed);
   net::MobileNetwork mobile(p, wp, rng);
 
+  sim::ThreadPool& pool = sim::default_pool();
+  net::DynamicDiskGraph dyn{
+      std::vector<net::Node>(mobile.nodes().begin(), mobile.nodes().end())};
+  bcast::SkylineCache cache(dyn, pool);
+
   std::uint64_t bytes_1hop = 0;
   std::uint64_t bytes_2hop = 0;
   int stale_failures = 0;
   int checks = 0;
+  std::uint64_t edge_flips = 0;
+  double incremental_s = 0.0;
+  double rebuild_s = 0.0;
 
   // The 2-hop view a node holds is what its neighbors advertised LAST
   // period (their own 1-hop lists lag one period behind reality).
@@ -50,7 +80,21 @@ int main(int argc, char** argv) {
 
   for (int t = 0; t < periods; ++t) {
     mobile.step(1.0, rng);  // one beacon period of random-waypoint motion
+
+    // Incremental maintenance: diff the moved nodes' links, recompute only
+    // the dirtied relays.
+    const auto t_inc = std::chrono::steady_clock::now();
+    const auto& delta = dyn.apply(mobile.nodes(), mobile.moved_last_step());
+    cache.update(delta);
+    incremental_s += seconds_since(t_inc);
+    edge_flips += delta.edges_added + delta.edges_removed;
+
+    // What a 1-hop-oblivious implementation pays every period instead.
+    const auto t_full = std::chrono::steady_clock::now();
     const net::DiskGraph now = mobile.snapshot();
+    const bcast::AllSkylines full = bcast::compute_all_skylines(now, pool);
+    rebuild_s += seconds_since(t_full);
+    static_cast<void>(full);
 
     // Beacon cost this period.
     bytes_1hop += net::hello1_cost(now).bytes;
@@ -92,12 +136,35 @@ int main(int argc, char** argv) {
                      std::to_string(checks) + " periods"});
   table.print(std::cout);
 
+  const double n = static_cast<double>(dyn.size());
+  const double avg_dirty = periods > 0
+                               ? static_cast<double>(cache.recompute_count()) /
+                                     static_cast<double>(periods)
+                               : 0.0;
+  std::cout << "\nincremental maintenance over " << periods << " periods ("
+            << dyn.size() << " nodes):\n"
+            << "  edge flips:          " << edge_flips << "\n"
+            << "  relays recomputed:   " << cache.recompute_count() << " (avg "
+            << sim::format_double(avg_dirty, 1) << "/period, "
+            << sim::format_double(100.0 * avg_dirty / n, 1) << "% of nodes)\n"
+            << "  store compactions:   " << cache.compaction_count() << "\n"
+            << "  incremental step:    "
+            << sim::format_double(1e3 * incremental_s / periods, 3)
+            << " ms/period\n"
+            << "  full rebuild:        "
+            << sim::format_double(1e3 * rebuild_s / periods, 3)
+            << " ms/period ("
+            << sim::format_double(rebuild_s / incremental_s, 2)
+            << "x the incremental cost)\n";
+
   std::cout << "\ntotal distance travelled by all nodes: "
             << sim::format_double(mobile.total_distance(), 1) << " units over "
             << periods << " random-waypoint periods\n";
   std::cout << "\nreading: maintaining 2-hop views costs ~(1+degree)x the "
                "beacon bytes and still lags one period behind under "
                "mobility; the skyline scheme's 1-hop view is both cheaper "
-               "and fresher (Section 5.1.1).\n";
+               "and fresher (Section 5.1.1), and lets the topology + "
+               "forwarding sets be patched incrementally instead of "
+               "rebuilt.\n";
   return 0;
 }

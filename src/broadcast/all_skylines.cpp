@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "broadcast/relay_skyline.hpp"
 #include "core/skyline_dc.hpp"
 #include "geometry/disk.hpp"
 
@@ -47,33 +48,15 @@ AllSkylines compute_all_skylines(const net::DiskGraph& g,
     std::vector<geom::Disk> disks;
     std::vector<core::Arc> arcs;
     std::vector<std::size_t> sky_set;
+    std::vector<net::NodeId> relay_ids;
     for (std::size_t u = lo; u < hi; ++u) {
       const net::NodeId id = static_cast<net::NodeId>(u);
-      const auto nb = g.neighbors(id);
-      disks.clear();
-      disks.push_back(g.node(id).disk());
-      for (const net::NodeId v : nb) disks.push_back(g.node(v).disk());
-
-      core::compute_skyline_arcs(disks, g.node(id).pos, ws, arcs);
-      out.arc_counts_[u] = static_cast<std::uint32_t>(arcs.size());
-
-      // Skyline set: sorted unique disk indices.  Disk 0 is the relay
-      // itself — its area was served by the transmission the relay already
-      // made, so it never needs a forwarder (Section 3.2).  Neighbor disks
-      // follow `nb`'s ascending id order, so ascending indices map to
-      // ascending node ids with no re-sort.
-      sky_set.clear();
-      for (const core::Arc& a : arcs) sky_set.push_back(a.disk);
-      std::sort(sky_set.begin(), sky_set.end());
-      sky_set.erase(std::unique(sky_set.begin(), sky_set.end()),
-                    sky_set.end());
-      std::uint32_t count = 0;
-      for (const std::size_t idx : sky_set) {
-        if (idx == 0) continue;
-        co.ids.push_back(nb[idx - 1]);
-        ++count;
-      }
-      out.offsets_[u + 1] = count;  // shifted; prefix-summed below
+      out.arc_counts_[u] = detail::relay_forwarding_set(g, id, ws, disks,
+                                                        arcs, sky_set,
+                                                        relay_ids);
+      co.ids.insert(co.ids.end(), relay_ids.begin(), relay_ids.end());
+      // Shifted count; prefix-summed below.
+      out.offsets_[u + 1] = static_cast<std::uint32_t>(relay_ids.size());
     }
   });
 

@@ -7,7 +7,11 @@
 namespace mldcs::bcast {
 
 CoverageGap skyline_coverage_gap(const net::DiskGraph& g, net::NodeId relay) {
-  const LocalView view = local_view(g, relay);
+  return skyline_coverage_gap(g, local_view(g, relay));
+}
+
+CoverageGap skyline_coverage_gap(const net::DiskGraph& g,
+                                 const LocalView& view) {
   CoverageGap gap;
   gap.forwarding_set = skyline_forwarding_set(g, view);
   for (net::NodeId w : view.two_hop) {

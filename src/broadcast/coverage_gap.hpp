@@ -31,6 +31,12 @@ struct CoverageGap {
 [[nodiscard]] CoverageGap skyline_coverage_gap(const net::DiskGraph& g,
                                                net::NodeId relay);
 
+/// Same, with a precomputed local view (relay sweeps build the view once —
+/// via the scratch-reuse local_view overload — and share it between the
+/// detector and patched_skyline_forwarding_set).
+[[nodiscard]] CoverageGap skyline_coverage_gap(const net::DiskGraph& g,
+                                               const LocalView& view);
+
 /// The exact 6-node construction of Figure 5.6: relay u with 1-hop
 /// neighbors u1, u2, u3 and 2-hop neighbors u4 (via u1) and u5 (via u2);
 /// u3's big disk swallows every other disk so the skyline set is {u3}, but

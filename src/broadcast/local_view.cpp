@@ -6,11 +6,15 @@ namespace mldcs::bcast {
 
 LocalView local_view(const net::DiskGraph& g, net::NodeId self) {
   LocalView v;
-  v.self = self;
-  const auto nb = g.neighbors(self);
-  v.one_hop.assign(nb.begin(), nb.end());
-  v.two_hop = g.two_hop_neighbors(self);
+  local_view(g, self, v);
   return v;
+}
+
+void local_view(const net::DiskGraph& g, net::NodeId self, LocalView& out) {
+  out.self = self;
+  const auto nb = g.neighbors(self);
+  out.one_hop.assign(nb.begin(), nb.end());
+  g.two_hop_neighbors(self, out.two_hop);
 }
 
 std::vector<geom::Disk> local_disk_set(const net::DiskGraph& g,

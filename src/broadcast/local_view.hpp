@@ -25,6 +25,11 @@ struct LocalView {
 /// agree with this).
 [[nodiscard]] LocalView local_view(const net::DiskGraph& g, net::NodeId self);
 
+/// Scratch-reuse overload for relay sweeps: refills `out` in place, reusing
+/// its vectors' capacity (no per-relay allocations in steady state; uses
+/// the scratch-buffer DiskGraph::two_hop_neighbors).
+void local_view(const net::DiskGraph& g, net::NodeId self, LocalView& out);
+
 /// The local disk set of `self` in the paper's sense: disk 0 is self's own
 /// coverage disk, disks 1..k are the 1-hop neighbors' disks, in the order of
 /// `view.one_hop`.  Valid by the bidirectional-link rule: every neighbor's

@@ -1,0 +1,154 @@
+#include "broadcast/skyline_cache.hpp"
+
+#include <algorithm>
+
+#include "broadcast/relay_skyline.hpp"
+
+namespace mldcs::bcast {
+
+SkylineCache::SkylineCache(const net::DynamicDiskGraph& g,
+                           sim::ThreadPool& pool, Config config)
+    : g_(&g), pool_(&pool), config_(config) {
+  const std::size_t n = g.size();
+  slots_.resize(n);
+  arc_counts_.assign(n, 0);
+  in_dirty_.assign(n, 0);
+  committed_pos_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    committed_pos_[i] = g.node(static_cast<net::NodeId>(i)).pos;
+  }
+  full_sweep();
+}
+
+void SkylineCache::full_sweep() {
+  const std::size_t n = g_->size();
+  if (n == 0) return;
+  // Reuse the incremental machinery: everything is dirty once.
+  dirty_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) dirty_[i] = static_cast<net::NodeId>(i);
+  recompute_dirty();
+  recomputes_ = 0;  // lifetime counter excludes the initial sweep
+  dirty_.clear();
+}
+
+void SkylineCache::update(const net::DynamicDiskGraph::StepDelta& delta) {
+  const net::DynamicDiskGraph& g = *g_;
+  dirty_.clear();
+  const auto mark = [this](net::NodeId w) {
+    if (in_dirty_[w] != 0) return;
+    in_dirty_[w] = 1;
+    dirty_.push_back(w);
+  };
+
+  const double tol2 =
+      config_.position_tolerance * config_.position_tolerance;
+  for (const net::NodeId u : delta.moved) {
+    // Below-tolerance drift accumulates: committed_pos_ only advances when
+    // the move actually dirties, so slow nodes cannot creep forever.
+    if (geom::distance2(committed_pos_[u], g.node(u).pos) <= tol2) continue;
+    committed_pos_[u] = g.node(u).pos;
+    mark(u);
+    for (const net::NodeId v : g.neighbors(u)) mark(v);
+  }
+  // A flipped edge changes both endpoints' local disk sets regardless of
+  // how far anyone drifted (committed positions are left alone: a link
+  // flip says nothing about how far the endpoint itself has crept).
+  for (const net::NodeId w : delta.link_changed) mark(w);
+  std::sort(dirty_.begin(), dirty_.end());
+  for (const net::NodeId w : dirty_) in_dirty_[w] = 0;
+
+  recomputes_ += dirty_.size();
+  recompute_dirty();
+}
+
+void SkylineCache::recompute_dirty() {
+  if (dirty_.empty()) return;
+  const net::DynamicDiskGraph& g = *g_;
+  const std::size_t n_dirty = dirty_.size();
+
+  // Phase 1 (parallel): compute every dirty relay's new set into per-chunk
+  // buffers; arc counts go straight to the shared array (disjoint indices).
+  // chunk_out_ only ever grows, so chunk buffers keep their capacity
+  // across steps (steady-state updates allocate nothing here).
+  const std::size_t n_chunks = std::min(pool_->size(), n_dirty);
+  if (chunk_out_.size() < n_chunks) chunk_out_.resize(n_chunks);
+  pool_->parallel_chunks(
+      n_dirty, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        ChunkOut& co = chunk_out_[c];
+        co.ids.clear();
+        co.lens.clear();
+        co.lo = lo;
+        core::SkylineWorkspace ws;
+        ws.reserve(64);
+        std::vector<geom::Disk> disks;
+        std::vector<core::Arc> arcs;
+        std::vector<std::size_t> sky_set;
+        std::vector<net::NodeId> relay_ids;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const net::NodeId u = dirty_[k];
+          arc_counts_[u] = detail::relay_forwarding_set(
+              g, u, ws, disks, arcs, sky_set, relay_ids);
+          co.ids.insert(co.ids.end(), relay_ids.begin(), relay_ids.end());
+          co.lens.push_back(static_cast<std::uint32_t>(relay_ids.size()));
+        }
+      });
+
+  // Phase 2 (serial): patch the slotted store in dirty order — in place
+  // when the new set fits the slot, appended otherwise.  Serial and in
+  // ascending relay order, so the store layout is deterministic and
+  // independent of the pool's thread count.
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const ChunkOut& co = chunk_out_[c];
+    std::size_t off = 0;
+    for (std::size_t k = 0; k < co.lens.size(); ++k) {
+      const net::NodeId u = dirty_[co.lo + k];
+      const std::uint32_t len = co.lens[k];
+      store(u, {co.ids.data() + off, len});
+      off += len;
+    }
+  }
+
+  if (dead_ids_ > 0 &&
+      static_cast<double>(dead_ids_) >
+          config_.compaction_threshold * static_cast<double>(ids_.size())) {
+    compact();
+  }
+}
+
+void SkylineCache::store(net::NodeId u, std::span<const net::NodeId> set) {
+  Slot& s = slots_[u];
+  live_ids_ += set.size();
+  live_ids_ -= s.len;
+  if (set.size() <= s.cap) {
+    std::copy(set.begin(), set.end(), ids_.begin() + s.begin);
+    s.len = static_cast<std::uint32_t>(set.size());
+    return;
+  }
+  // Outgrown: abandon the old slot (dead until the next compaction) and
+  // append a fresh one with new slack.
+  dead_ids_ += s.cap;
+  s.begin = static_cast<std::uint32_t>(ids_.size());
+  s.len = static_cast<std::uint32_t>(set.size());
+  s.cap = cap_for(set.size());
+  ids_.resize(ids_.size() + s.cap);
+  std::copy(set.begin(), set.end(), ids_.begin() + s.begin);
+}
+
+void SkylineCache::compact() {
+  ++compactions_;
+  std::vector<net::NodeId> packed;
+  packed.reserve(live_ids_ + live_ids_ / 4 + 2 * slots_.size());
+  for (Slot& s : slots_) {
+    const std::uint32_t begin = static_cast<std::uint32_t>(packed.size());
+    packed.insert(packed.end(), ids_.begin() + s.begin,
+                  ids_.begin() + s.begin + s.len);
+    const std::uint32_t cap = cap_for(s.len);
+    packed.resize(packed.size() + (cap - s.len));
+    s.begin = begin;
+    s.cap = cap;
+  }
+  ids_ = std::move(packed);
+  dead_ids_ = 0;
+}
+
+}  // namespace mldcs::bcast

@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file skyline_cache.hpp
+/// Incrementally maintained whole-network MLDCS forwarding sets.
+///
+/// The Section 5.1.1 argument for the skyline scheme is that forwarding
+/// sets depend only on *fresh 1-hop* information — which also means that
+/// when a node moves, the only relays whose forwarding set can change are
+/// the node itself, its current neighbors, and the endpoints of any links
+/// that flipped.  `SkylineCache` exploits exactly that: it holds the result
+/// of a whole-network sweep (the CSR store of bcast::compute_all_skylines)
+/// and, fed the `StepDelta` of a `net::DynamicDiskGraph`, recomputes only
+/// the **dirty** relays:
+///
+///   dirty(w)  iff  w's 1-hop neighbor set changed (w is an endpoint of a
+///                  flipped edge), or w itself moved beyond the position
+///                  tolerance, or a current neighbor of w did.
+///
+/// With the default tolerance 0 this is exact: after every update the
+/// cached sets are bit-identical to a from-scratch `DiskGraph::build` +
+/// `compute_all_skylines` on the same positions (differential-tested over
+/// long mobility runs in tests/broadcast/skyline_cache_test.cpp).  A
+/// positive tolerance trades exactness for even fewer recomputes: a node
+/// must drift that far from its last committed position before it dirties
+/// its neighborhood.
+///
+/// Dirty relays are recomputed in parallel through the per-chunk
+/// `SkylineWorkspace` machinery (same inner loop as compute_all_skylines —
+/// see relay_skyline.hpp), and results are patched into a slotted arc
+/// store: every node owns a stable slot with some slack, so a recomputed
+/// set that still fits is written in place and clean relays cost zero.
+/// Slots that outgrow their slack are re-appended; when the dead fraction
+/// of the store passes the compaction threshold the store is repacked.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/arc.hpp"
+#include "core/skyline_dc.hpp"
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+#include "net/dynamic_disk_graph.hpp"
+#include "net/node.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace mldcs::bcast {
+
+/// Cached all-relay skyline forwarding sets over a DynamicDiskGraph.
+class SkylineCache {
+ public:
+  struct Config {
+    /// A moved node dirties its neighborhood only once it has drifted more
+    /// than this from its last committed position.  0 = exact maintenance
+    /// (cached output always bit-identical to a from-scratch sweep).
+    double position_tolerance = 0.0;
+    /// Dead fraction of the slotted store that triggers compaction.
+    double compaction_threshold = 0.5;
+  };
+
+  /// Full initial sweep over `g` (which must outlive the cache).  `pool` is
+  /// retained and reused by every update — steady-state maintenance spawns
+  /// no threads.
+  SkylineCache(const net::DynamicDiskGraph& g, sim::ThreadPool& pool,
+               Config config);
+  SkylineCache(const net::DynamicDiskGraph& g, sim::ThreadPool& pool)
+      : SkylineCache(g, pool, Config()) {}
+
+  /// Recompute the relays dirtied by `delta` (the return value of the
+  /// graph's `apply` for this step, which must already be applied).
+  void update(const net::DynamicDiskGraph::StepDelta& delta);
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// The cached skyline/MLDCS forwarding set of relay `u`, sorted
+  /// ascending.  Identical to compute_all_skylines(...).forwarding_set(u).
+  [[nodiscard]] std::span<const net::NodeId> forwarding_set(
+      net::NodeId u) const noexcept {
+    const Slot& s = slots_[u];
+    return {ids_.data() + s.begin, ids_.data() + s.begin + s.len};
+  }
+
+  /// Cached skyline arc count of relay `u` (Lemma 8 instrumentation).
+  [[nodiscard]] std::uint32_t arc_count(net::NodeId u) const noexcept {
+    return arc_counts_[u];
+  }
+
+  /// Total forwarding-set cardinality over all relays.
+  [[nodiscard]] std::size_t total_forwarders() const noexcept {
+    return live_ids_;
+  }
+
+  // --- Maintenance instrumentation -----------------------------------------
+
+  /// Relays recomputed by the most recent update (sorted ascending; empty
+  /// after a no-op step).  Valid until the next update.
+  [[nodiscard]] std::span<const net::NodeId> last_dirty() const noexcept {
+    return dirty_;
+  }
+
+  /// Total relays recomputed over the cache's lifetime (excluding the
+  /// initial sweep).
+  [[nodiscard]] std::uint64_t recompute_count() const noexcept {
+    return recomputes_;
+  }
+
+  /// Times the slotted store was repacked.
+  [[nodiscard]] std::uint64_t compaction_count() const noexcept {
+    return compactions_;
+  }
+
+  /// Current size of the slotted store (live + slack + dead entries).
+  [[nodiscard]] std::size_t store_size() const noexcept { return ids_.size(); }
+
+ private:
+  struct Slot {
+    std::uint32_t begin = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
+  };
+
+  /// Slot capacity policy: enough slack that typical set-size jitter under
+  /// motion stays in place.
+  [[nodiscard]] static std::uint32_t cap_for(std::size_t len) noexcept {
+    return static_cast<std::uint32_t>(len + len / 4 + 2);
+  }
+
+  void full_sweep();
+  void recompute_dirty();
+  void store(net::NodeId u, std::span<const net::NodeId> set);
+  void compact();
+
+  const net::DynamicDiskGraph* g_;
+  sim::ThreadPool* pool_;
+  Config config_;
+
+  std::vector<Slot> slots_;
+  std::vector<net::NodeId> ids_;  ///< slotted blob (slack between slots)
+  std::vector<std::uint32_t> arc_counts_;
+  std::size_t live_ids_ = 0;  ///< sum of slot lengths
+  std::size_t dead_ids_ = 0;  ///< abandoned (outgrown) slot capacity
+
+  /// Last position at which each node's neighborhood was committed; only
+  /// drift beyond the tolerance re-dirties (always current when
+  /// position_tolerance == 0).
+  std::vector<geom::Vec2> committed_pos_;
+
+  std::vector<net::NodeId> dirty_;     ///< last update's recomputed relays
+  std::vector<std::uint8_t> in_dirty_; ///< membership mask for dirty_
+
+  /// Per-worker-chunk recompute output, stitched serially into the store.
+  struct ChunkOut {
+    std::vector<net::NodeId> ids;
+    std::vector<std::uint32_t> lens;
+    std::size_t lo = 0;
+  };
+  std::vector<ChunkOut> chunk_out_;
+
+  std::uint64_t recomputes_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace mldcs::bcast

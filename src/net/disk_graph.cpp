@@ -85,6 +85,27 @@ DiskGraph DiskGraph::build(std::vector<Node> nodes) {
   return g;
 }
 
+DiskGraph DiskGraph::from_adjacency(std::vector<Node> nodes,
+                                    std::span<const std::vector<NodeId>> adj) {
+  DiskGraph g;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].id = static_cast<NodeId>(i);
+  }
+  g.nodes_ = std::move(nodes);
+  const std::size_t n = g.nodes_.size();
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.offsets_[i + 1] =
+        g.offsets_[i] + static_cast<std::uint32_t>(adj[i].size());
+  }
+  g.adjacency_.resize(g.offsets_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(adj[i].begin(), adj[i].end(),
+              g.adjacency_.begin() + g.offsets_[i]);
+  }
+  return g;
+}
+
 std::span<const NodeId> DiskGraph::neighbors(NodeId id) const noexcept {
   return {adjacency_.data() + offsets_[id],
           adjacency_.data() + offsets_[id + 1]};
@@ -96,8 +117,14 @@ bool DiskGraph::linked(NodeId u, NodeId v) const noexcept {
 }
 
 std::vector<NodeId> DiskGraph::two_hop_neighbors(NodeId id) const {
-  const auto one_hop = neighbors(id);
   std::vector<NodeId> out;
+  two_hop_neighbors(id, out);
+  return out;
+}
+
+void DiskGraph::two_hop_neighbors(NodeId id, std::vector<NodeId>& out) const {
+  const auto one_hop = neighbors(id);
+  out.clear();
   for (NodeId v : one_hop) {
     for (NodeId w : neighbors(v)) {
       if (w == id) continue;
@@ -107,7 +134,6 @@ std::vector<NodeId> DiskGraph::two_hop_neighbors(NodeId id) const {
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 std::vector<NodeId> DiskGraph::reachable_from(NodeId from) const {

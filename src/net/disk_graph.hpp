@@ -19,6 +19,14 @@ class DiskGraph {
   /// (callers address nodes by index).  Uses a spatial grid, O(N * degree).
   static DiskGraph build(std::vector<Node> nodes);
 
+  /// Adopt known adjacency lists (adj[i] = sorted neighbor ids of node i)
+  /// without re-deriving them from geometry — O(edges).  Used by
+  /// DynamicDiskGraph::to_disk_graph to materialize an incrementally
+  /// maintained topology.  Node ids are reassigned to indices; `adj` must
+  /// be symmetric and sorted (unchecked).
+  static DiskGraph from_adjacency(std::vector<Node> nodes,
+                                  std::span<const std::vector<NodeId>> adj);
+
   [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] const Node& node(NodeId id) const noexcept { return nodes_[id]; }
@@ -37,6 +45,11 @@ class DiskGraph {
   /// Strict 2-hop neighbors of `id`: nodes at graph distance exactly 2
   /// (neighbors of neighbors, minus id and its 1-hop set), sorted ascending.
   [[nodiscard]] std::vector<NodeId> two_hop_neighbors(NodeId id) const;
+
+  /// Scratch-buffer overload: fills `out` (cleared first, capacity reused)
+  /// instead of allocating a fresh vector — the form relay sweeps should
+  /// use (see bcast::local_view's reuse overload).
+  void two_hop_neighbors(NodeId id, std::vector<NodeId>& out) const;
 
   /// Number of edges (each counted once).
   [[nodiscard]] std::size_t edge_count() const noexcept {

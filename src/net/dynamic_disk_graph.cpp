@@ -1,0 +1,224 @@
+#include "net/dynamic_disk_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mldcs::net {
+
+DynamicDiskGraph::DynamicDiskGraph(std::vector<Node> nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].id = static_cast<NodeId>(i);
+  }
+  nodes_ = std::move(nodes);
+  const std::size_t n = nodes_.size();
+
+  double max_r = 0.0;
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = min_x;
+  double max_x = -min_x;
+  double max_y = -min_x;
+  for (const Node& node : nodes_) {
+    max_r = std::max(max_r, node.radius);
+    min_x = std::min(min_x, node.pos.x);
+    min_y = std::min(min_y, node.pos.y);
+    max_x = std::max(max_x, node.pos.x);
+    max_y = std::max(max_y, node.pos.y);
+  }
+  if (nodes_.empty()) {
+    min_x = min_y = 0.0;
+    max_x = max_y = 0.0;
+  }
+  cell_ = std::max(max_r, 1e-6);
+  min_x_ = min_x;
+  min_y_ = min_y;
+  nx_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor((max_x - min_x) / cell_)) + 1);
+  ny_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor((max_y - min_y) / cell_)) + 1);
+
+  buckets_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_),
+                  {});
+  bucket_of_.resize(n);
+  for (const Node& node : nodes_) {
+    const std::size_t c = cell_of(node.pos);
+    bucket_of_[node.id] = static_cast<std::uint32_t>(c);
+    buckets_[c].push_back(node.id);
+  }
+
+  adjacency_.resize(n);
+  in_moved_.assign(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const Node& nu = nodes_[u];
+    scratch_candidates_.clear();
+    query_candidates(nu.pos, nu.radius, scratch_candidates_);
+    std::vector<NodeId>& adj = adjacency_[u];
+    for (const NodeId v : scratch_candidates_) {
+      if (v != u && nu.linked_to(nodes_[v])) adj.push_back(v);
+    }
+    std::sort(adj.begin(), adj.end());
+    edges_ += adj.size();
+  }
+  edges_ /= 2;
+}
+
+std::size_t DynamicDiskGraph::cell_of(geom::Vec2 p) const noexcept {
+  std::int64_t cx =
+      static_cast<std::int64_t>(std::floor((p.x - min_x_) / cell_));
+  std::int64_t cy =
+      static_cast<std::int64_t>(std::floor((p.y - min_y_) / cell_));
+  cx = std::clamp<std::int64_t>(cx, 0, nx_ - 1);
+  cy = std::clamp<std::int64_t>(cy, 0, ny_ - 1);
+  return static_cast<std::size_t>(cy * nx_ + cx);
+}
+
+void DynamicDiskGraph::query_candidates(geom::Vec2 p, double range,
+                                        std::vector<NodeId>& out) const {
+  const std::int64_t cx0 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor((p.x - range - min_x_) / cell_)), 0,
+      nx_ - 1);
+  const std::int64_t cx1 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor((p.x + range - min_x_) / cell_)), 0,
+      nx_ - 1);
+  const std::int64_t cy0 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor((p.y - range - min_y_) / cell_)), 0,
+      ny_ - 1);
+  const std::int64_t cy1 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor((p.y + range - min_y_) / cell_)), 0,
+      ny_ - 1);
+  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      const std::vector<NodeId>& bucket =
+          buckets_[static_cast<std::size_t>(cy * nx_ + cx)];
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+  }
+}
+
+bool DynamicDiskGraph::linked(NodeId u, NodeId v) const noexcept {
+  const std::vector<NodeId>& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+void DynamicDiskGraph::rebucket(NodeId u, geom::Vec2 new_pos) {
+  const std::size_t new_cell = cell_of(new_pos);
+  const std::size_t old_cell = bucket_of_[u];
+  if (new_cell == old_cell) return;
+  std::vector<NodeId>& old_bucket = buckets_[old_cell];
+  // Bucket order is irrelevant to correctness (adjacency lists are sorted
+  // after the exact-distance filter), so swap-erase keeps removal O(1).
+  const auto it = std::find(old_bucket.begin(), old_bucket.end(), u);
+  *it = old_bucket.back();
+  old_bucket.pop_back();
+  buckets_[new_cell].push_back(u);
+  bucket_of_[u] = static_cast<std::uint32_t>(new_cell);
+}
+
+const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
+    std::span<const Node> current) {
+  if (current.size() != nodes_.size()) {
+    throw std::invalid_argument("DynamicDiskGraph::apply: node count changed");
+  }
+  delta_.moved.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (current[i].pos != nodes_[i].pos) {
+      delta_.moved.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return apply_moved(current);
+}
+
+const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
+    std::span<const Node> current, std::span<const NodeId> moved_hint) {
+  if (current.size() != nodes_.size()) {
+    throw std::invalid_argument("DynamicDiskGraph::apply: node count changed");
+  }
+  delta_.moved.assign(moved_hint.begin(), moved_hint.end());
+  std::sort(delta_.moved.begin(), delta_.moved.end());
+  delta_.moved.erase(std::unique(delta_.moved.begin(), delta_.moved.end()),
+                     delta_.moved.end());
+  return apply_moved(current);
+}
+
+const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply_moved(
+    std::span<const Node> current) {
+  delta_.link_changed.clear();
+  delta_.edges_added = 0;
+  delta_.edges_removed = 0;
+
+  // Phase 1: commit every moved position and re-bucket, so phase 2's grid
+  // queries and symmetric linked_to tests all see the new geometry.
+  for (const NodeId u : delta_.moved) {
+    assert(current[u].radius == nodes_[u].radius &&
+           "apply: radii are fixed under mobility");
+    rebucket(u, current[u].pos);
+    nodes_[u].pos = current[u].pos;
+    in_moved_[u] = 1;
+  }
+
+  // Phase 2: recompute each moved node's neighbor list exactly, and patch
+  // the diffs into unmoved endpoints.  A flipped edge between two moved
+  // nodes shows up in both recomputations (linked_to is symmetric and both
+  // sides see post-move positions), so it is counted only from the lower
+  // endpoint.
+  for (const NodeId u : delta_.moved) {
+    const Node& nu = nodes_[u];
+    scratch_candidates_.clear();
+    query_candidates(nu.pos, nu.radius, scratch_candidates_);
+    scratch_adj_.clear();
+    for (const NodeId v : scratch_candidates_) {
+      if (v != u && nu.linked_to(nodes_[v])) scratch_adj_.push_back(v);
+    }
+    std::sort(scratch_adj_.begin(), scratch_adj_.end());
+
+    // Sorted two-pointer diff of old (adjacency_[u]) vs new (scratch_adj_).
+    const std::vector<NodeId>& old_adj = adjacency_[u];
+    std::size_t i = 0;
+    std::size_t k = 0;
+    const auto record = [this, u](NodeId v, bool added) {
+      if (in_moved_[v] != 0 && v < u) return;  // counted from min(u, v)
+      added ? ++delta_.edges_added : ++delta_.edges_removed;
+      delta_.link_changed.push_back(u);
+      delta_.link_changed.push_back(v);
+      if (in_moved_[v] == 0) {
+        // Patch the unmoved endpoint's sorted list in place.
+        std::vector<NodeId>& adj = adjacency_[v];
+        const auto pos = std::lower_bound(adj.begin(), adj.end(), u);
+        added ? static_cast<void>(adj.insert(pos, u))
+              : static_cast<void>(adj.erase(pos));
+      }
+    };
+    while (i < old_adj.size() || k < scratch_adj_.size()) {
+      if (k == scratch_adj_.size() ||
+          (i < old_adj.size() && old_adj[i] < scratch_adj_[k])) {
+        record(old_adj[i], /*added=*/false);
+        ++i;
+      } else if (i == old_adj.size() || scratch_adj_[k] < old_adj[i]) {
+        record(scratch_adj_[k], /*added=*/true);
+        ++k;
+      } else {
+        ++i;
+        ++k;
+      }
+    }
+    adjacency_[u].assign(scratch_adj_.begin(), scratch_adj_.end());
+  }
+  edges_ += delta_.edges_added;
+  edges_ -= delta_.edges_removed;
+
+  for (const NodeId u : delta_.moved) in_moved_[u] = 0;
+  std::sort(delta_.link_changed.begin(), delta_.link_changed.end());
+  delta_.link_changed.erase(
+      std::unique(delta_.link_changed.begin(), delta_.link_changed.end()),
+      delta_.link_changed.end());
+  return delta_;
+}
+
+DiskGraph DynamicDiskGraph::to_disk_graph() const {
+  return DiskGraph::from_adjacency(
+      std::vector<Node>(nodes_.begin(), nodes_.end()), adjacency_);
+}
+
+}  // namespace mldcs::net

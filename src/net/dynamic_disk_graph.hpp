@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file dynamic_disk_graph.hpp
+/// Incrementally maintained disk graph for mobile networks.
+///
+/// `DiskGraph::build` rebuilds the spatial grid and the whole CSR adjacency
+/// from scratch — the right tool for one-shot deployments, but an O(network)
+/// cost per beacon period under mobility even when only a handful of nodes
+/// moved.  `DynamicDiskGraph` keeps the same bidirectional-link topology
+/// (Section 3.1: u ~ v iff ||u - v|| <= min(r_u, r_v)) in *mutable* form:
+///
+///  - a bucketed uniform grid whose cells are updated only for nodes whose
+///    cell actually changed,
+///  - per-node sorted adjacency lists patched by edge diffs: each moved
+///    node's neighbor list is recomputed from the grid, and only the
+///    added/removed edges touch the (unmoved) other endpoints.
+///
+/// Every `apply` returns a `StepDelta` naming the moved nodes and the
+/// endpoints of flipped edges — exactly the information a cached-skyline
+/// layer (bcast::SkylineCache) needs to recompute only dirty relays.  The
+/// maintained adjacency is always identical to what `DiskGraph::build`
+/// would produce on the current positions (differential-tested in
+/// tests/net/dynamic_disk_graph_test.cpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/disk_graph.hpp"
+#include "net/node.hpp"
+
+namespace mldcs::net {
+
+/// Mutable disk graph: positions may change step to step; radii and the
+/// node set are fixed at construction (the mobility model of Section 5.1.1
+/// moves nodes but never re-provisions antennas).
+class DynamicDiskGraph {
+ public:
+  /// What changed in one `apply` call.
+  struct StepDelta {
+    /// Nodes whose position changed (ascending).
+    std::vector<NodeId> moved;
+    /// Endpoints of every added or removed edge (ascending, unique).
+    std::vector<NodeId> link_changed;
+    std::size_t edges_added = 0;
+    std::size_t edges_removed = 0;
+
+    [[nodiscard]] bool empty() const noexcept {
+      return moved.empty() && link_changed.empty();
+    }
+  };
+
+  /// Build the initial topology.  Node ids are reassigned to indices, as in
+  /// `DiskGraph::build`.
+  explicit DynamicDiskGraph(std::vector<Node> nodes);
+
+  [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const noexcept {
+    return nodes_[id];
+  }
+
+  /// 1-hop neighbors of `id`, sorted ascending.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const noexcept {
+    return adjacency_[id];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId id) const noexcept {
+    return adjacency_[id].size();
+  }
+
+  /// True if u and v are adjacent (binary search; u != v assumed).
+  [[nodiscard]] bool linked(NodeId u, NodeId v) const noexcept;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  [[nodiscard]] double average_degree() const noexcept {
+    return nodes_.empty() ? 0.0
+                          : 2.0 * static_cast<double>(edges_) /
+                                static_cast<double>(nodes_.size());
+  }
+
+  /// Move nodes to the positions in `current` (same size and order as
+  /// `nodes()`; radii must be unchanged).  Nodes whose position differs are
+  /// re-bucketed if their grid cell changed, their adjacency lists are
+  /// recomputed from the grid, and the resulting edge diffs are patched
+  /// into the unmoved endpoints' lists.  Returns the delta of this step;
+  /// the reference stays valid until the next `apply`.
+  const StepDelta& apply(std::span<const Node> current);
+
+  /// Same, with the moved set supplied by the caller (e.g.
+  /// `MobileNetwork::moved_last_step()`), skipping the O(n) change scan.
+  /// Ids not in `moved_hint` must be unchanged in `current`.
+  const StepDelta& apply(std::span<const Node> current,
+                         std::span<const NodeId> moved_hint);
+
+  /// Materialize the current topology as an immutable CSR `DiskGraph`
+  /// (O(edges) copy of the maintained adjacency — no grid rebuild).
+  [[nodiscard]] DiskGraph to_disk_graph() const;
+
+ private:
+  const StepDelta& apply_moved(std::span<const Node> current);
+  [[nodiscard]] std::size_t cell_of(geom::Vec2 p) const noexcept;
+  void query_candidates(geom::Vec2 p, double range,
+                        std::vector<NodeId>& out) const;
+  void rebucket(NodeId u, geom::Vec2 new_pos);
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> adjacency_;  ///< sorted per node
+  std::size_t edges_ = 0;
+
+  // Bucketed grid (same geometry as SpatialGrid: cell side = max radius,
+  // fixed origin/extent from the initial deployment, out-of-range positions
+  // clamped into the border cells).
+  double cell_ = 1.0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  std::int64_t nx_ = 1;
+  std::int64_t ny_ = 1;
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<std::uint32_t> bucket_of_;  ///< node -> bucket index
+
+  // Step scratch, reused across apply() calls.
+  StepDelta delta_;
+  std::vector<NodeId> scratch_candidates_;
+  std::vector<NodeId> scratch_adj_;
+  std::vector<std::uint8_t> in_moved_;  ///< membership mask for delta_.moved
+};
+
+}  // namespace mldcs::net

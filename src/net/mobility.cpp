@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geometry/angle.hpp"
+
 namespace mldcs::net {
 
 MobileNetwork::MobileNetwork(const DeploymentParams& deploy,
@@ -11,20 +13,37 @@ MobileNetwork::MobileNetwork(const DeploymentParams& deploy,
       states_(nodes_.size()),
       move_(move),
       side_(deploy.side) {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) redraw_waypoint(i, rng);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    redraw_waypoint(i, rng);
+    if (move_.steady_state_init && move_.pause > 0.0) {
+      states_[i].pause_left = rng.uniform(0.0, move_.pause);
+    }
+  }
 }
 
 void MobileNetwork::redraw_waypoint(std::size_t i, sim::Xoshiro256& rng) {
-  states_[i].target = {rng.uniform(0.0, side_), rng.uniform(0.0, side_)};
+  if (move_.max_leg > 0.0) {
+    // Bounded leg: uniform direction, uniform distance in (0, max_leg],
+    // clamped to the deployment square.
+    const double theta = rng.uniform(0.0, geom::kTwoPi);
+    const double leg = rng.uniform(0.0, move_.max_leg);
+    const geom::Vec2 raw = nodes_[i].pos + geom::unit_at(theta) * leg;
+    states_[i].target = {std::clamp(raw.x, 0.0, side_),
+                         std::clamp(raw.y, 0.0, side_)};
+  } else {
+    states_[i].target = {rng.uniform(0.0, side_), rng.uniform(0.0, side_)};
+  }
   states_[i].speed = rng.uniform(move_.v_min, move_.v_max);
   states_[i].pause_left = 0.0;
 }
 
 void MobileNetwork::step(double dt, sim::Xoshiro256& rng) {
+  moved_.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     double remaining = dt;
     WaypointState& st = states_[i];
     Node& n = nodes_[i];
+    const geom::Vec2 pos_before = n.pos;
     // A node may finish a pause, walk, arrive, pause, and redraw within one
     // step; loop until the step's time budget is consumed.
     while (remaining > 1e-12) {
@@ -53,6 +72,7 @@ void MobileNetwork::step(double dt, sim::Xoshiro256& rng) {
         remaining = 0.0;
       }
     }
+    if (n.pos != pos_before) moved_.push_back(static_cast<NodeId>(i));
   }
 }
 

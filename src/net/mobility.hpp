@@ -11,6 +11,7 @@
 /// makes that argument quantitative in `mobility_maintenance` and the
 /// `abl_network_storm` bench.
 
+#include <span>
 #include <vector>
 
 #include "net/disk_graph.hpp"
@@ -25,6 +26,20 @@ struct WaypointParams {
   double v_min = 0.05;  ///< minimum speed (units per time step)
   double v_max = 0.5;   ///< maximum speed
   double pause = 2.0;   ///< pause duration at each waypoint (time steps)
+
+  /// 0 = classic random waypoint (next target uniform over the square).
+  /// > 0 = bounded-leg variant: the next target is drawn within this
+  /// distance of the current position (clamped to the square) — the
+  /// quasi-static regime of sensor deployments that mostly sit still and
+  /// occasionally relocate, where incremental topology maintenance pays
+  /// off most (see bench/perf_suite.cpp's mobility_steady_state section).
+  double max_leg = 0.0;
+
+  /// Start each node with a residual pause ~ U(0, pause) instead of
+  /// mid-leg, desynchronizing waypoint arrivals so the network begins near
+  /// the mobility process's steady state (classic RWP warm-up fix).  Off
+  /// by default to keep existing seeded runs bit-identical.
+  bool steady_state_init = false;
 };
 
 /// Mobility state of one node.
@@ -47,6 +62,13 @@ class MobileNetwork {
   /// waypoint, waypoint re-draw on arrival after the pause).
   void step(double dt, sim::Xoshiro256& rng);
 
+  /// Ids of nodes whose position changed in the last step() call, ascending
+  /// (paused nodes don't appear) — the moved-set hint for
+  /// DynamicDiskGraph::apply.  Empty before the first step.
+  [[nodiscard]] std::span<const NodeId> moved_last_step() const noexcept {
+    return moved_;
+  }
+
   /// Node positions/radii right now (ids = indices).
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
     return nodes_;
@@ -66,6 +88,7 @@ class MobileNetwork {
 
   std::vector<Node> nodes_;
   std::vector<WaypointState> states_;
+  std::vector<NodeId> moved_;  ///< nodes that moved in the last step
   WaypointParams move_;
   double side_;
   double travelled_ = 0.0;

@@ -88,4 +88,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   pool.parallel_for(n, body);
 }
 
+ThreadPool& default_pool() {
+  // Meyers singleton: thread-safe construction, drained and joined during
+  // static destruction (the pool's destructor finishes queued tasks).
+  static ThreadPool pool(0);
+  return pool;
+}
+
 }  // namespace mldcs::sim

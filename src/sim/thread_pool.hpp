@@ -152,4 +152,12 @@ void parallel_for(std::size_t n, F&& body, std::size_t threads = 0) {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
+/// Process-wide shared pool (hardware_concurrency workers, created on first
+/// use, destroyed at exit).  The hook for steady-state loops — mobility
+/// maintenance, repeated sweeps — that should reuse one set of workers
+/// across steps instead of paying pool construction per step.  Same
+/// concurrency contract as any ThreadPool; callers must not rely on
+/// exclusive use.
+ThreadPool& default_pool();
+
 }  // namespace mldcs::sim

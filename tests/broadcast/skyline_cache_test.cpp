@@ -1,0 +1,240 @@
+// Tests for SkylineCache: cached forwarding sets must stay bit-identical to
+// a from-scratch compute_all_skylines after every mobility step, and the
+// dirty-relay rule must be local (a far-away move leaves a relay untouched).
+
+#include "broadcast/skyline_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "broadcast/all_skylines.hpp"
+#include "net/dynamic_disk_graph.hpp"
+#include "net/mobility.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace mldcs::bcast {
+namespace {
+
+net::DeploymentParams small_deploy() {
+  net::DeploymentParams p;
+  p.target_avg_degree = 8;
+  p.model = net::RadiusModel::kUniform;
+  return p;
+}
+
+void expect_matches_fresh(const SkylineCache& cache,
+                          const net::DynamicDiskGraph& dyn,
+                          sim::ThreadPool& pool, const char* where) {
+  const net::DiskGraph g = dyn.to_disk_graph();
+  const AllSkylines fresh = compute_all_skylines(g, pool);
+  ASSERT_EQ(cache.size(), fresh.size()) << where;
+  ASSERT_EQ(cache.total_forwarders(), fresh.total_forwarders()) << where;
+  for (net::NodeId u = 0; u < dyn.size(); ++u) {
+    const auto got = cache.forwarding_set(u);
+    const auto want = fresh.forwarding_set(u);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+        << where << ": forwarding set mismatch at relay " << u;
+    ASSERT_EQ(cache.arc_count(u), fresh.arc_count(u))
+        << where << ": arc count mismatch at relay " << u;
+  }
+}
+
+TEST(SkylineCacheTest, InitialSweepMatchesComputeAllSkylines) {
+  sim::Xoshiro256 rng(31);
+  sim::ThreadPool pool(2);
+  const net::DynamicDiskGraph dyn{
+      net::generate_deployment(small_deploy(), rng)};
+  const SkylineCache cache(dyn, pool);
+  expect_matches_fresh(cache, dyn, pool, "initial");
+  EXPECT_EQ(cache.recompute_count(), 0u);  // initial sweep is not counted
+}
+
+/// Long differential run across mobility regimes and seeds: after every
+/// incremental update the cache must equal a from-scratch sweep.
+TEST(SkylineCacheTest, LongRunMatchesFromScratch) {
+  struct Regime {
+    const char* name;
+    net::WaypointParams wp;
+  };
+  std::vector<Regime> regimes(3);
+  regimes[0].name = "default";
+  regimes[1].name = "pause_heavy";
+  regimes[1].wp.v_min = 0.02;
+  regimes[1].wp.v_max = 0.1;
+  regimes[1].wp.pause = 10.0;
+  regimes[1].wp.max_leg = 1.0;
+  regimes[1].wp.steady_state_init = true;
+  regimes[2].name = "high_speed";
+  regimes[2].wp.v_min = 0.5;
+  regimes[2].wp.v_max = 2.0;
+  regimes[2].wp.pause = 0.0;
+
+  sim::ThreadPool pool(4);
+  for (const Regime& regime : regimes) {
+    for (const std::uint64_t seed : {41u, 42u, 43u}) {
+      sim::Xoshiro256 rng(seed);
+      net::MobileNetwork mobile(small_deploy(), regime.wp, rng);
+      net::DynamicDiskGraph dyn{std::vector<net::Node>(
+          mobile.nodes().begin(), mobile.nodes().end())};
+      SkylineCache cache(dyn, pool);
+      for (int t = 0; t < 50; ++t) {
+        mobile.step(1.0, rng);
+        const auto& delta = dyn.apply(mobile.nodes(), mobile.moved_last_step());
+        cache.update(delta);
+        // Verifying every step across 3 regimes x 3 seeds is the point of
+        // the test but O(n^2-ish); check a rolling prefix plus every 5th.
+        if (t < 10 || t % 5 == 0) {
+          expect_matches_fresh(cache, dyn, pool, regime.name);
+        }
+      }
+      expect_matches_fresh(cache, dyn, pool, regime.name);
+    }
+  }
+}
+
+TEST(SkylineCacheTest, FarAwayMoveLeavesRelayClean) {
+  // Two well-separated clusters; moving a node inside the right cluster
+  // must not dirty (or change) any relay of the left cluster.
+  std::vector<net::Node> nodes{
+      {0, {0.0, 0.0}, 1.0},  {1, {0.8, 0.0}, 1.2}, {2, {0.4, 0.6}, 1.0},
+      {3, {50.0, 0.0}, 1.0}, {4, {50.8, 0.0}, 1.1}, {5, {50.4, 0.6}, 1.0}};
+  net::DynamicDiskGraph dyn{std::vector<net::Node>(nodes)};
+  sim::ThreadPool pool(1);
+  SkylineCache cache(dyn, pool);
+
+  const std::vector<net::NodeId> before(cache.forwarding_set(0).begin(),
+                                        cache.forwarding_set(0).end());
+  nodes[4].pos = {50.9, 0.3};  // jiggle inside the right cluster
+  const auto& delta = dyn.apply(nodes);
+  cache.update(delta);
+
+  const auto dirty = cache.last_dirty();
+  for (const net::NodeId u : {0u, 1u, 2u}) {
+    EXPECT_FALSE(std::binary_search(dirty.begin(), dirty.end(), u))
+        << "left-cluster relay " << u << " was needlessly recomputed";
+  }
+  EXPECT_TRUE(std::binary_search(dirty.begin(), dirty.end(),
+                                 static_cast<net::NodeId>(4)));
+  const auto after = cache.forwarding_set(0);
+  EXPECT_TRUE(
+      std::equal(after.begin(), after.end(), before.begin(), before.end()));
+  expect_matches_fresh(cache, dyn, pool, "after far move");
+}
+
+TEST(SkylineCacheTest, NoOpUpdateRecomputesNothing) {
+  sim::Xoshiro256 rng(32);
+  std::vector<net::Node> nodes = net::generate_deployment(small_deploy(), rng);
+  net::DynamicDiskGraph dyn{std::vector<net::Node>(nodes)};
+  sim::ThreadPool pool(2);
+  SkylineCache cache(dyn, pool);
+  const auto& delta = dyn.apply(nodes);  // no motion
+  cache.update(delta);
+  EXPECT_TRUE(cache.last_dirty().empty());
+  EXPECT_EQ(cache.recompute_count(), 0u);
+}
+
+TEST(SkylineCacheTest, SlotOverflowAndCompactionStayCorrect) {
+  // A hub whose neighbor count grows step by step: its slot must outgrow
+  // its slack repeatedly, and an aggressive compaction threshold forces
+  // repacks — through all of which the cache must stay exact.
+  std::vector<net::Node> nodes;
+  nodes.push_back({0, {0.0, 0.0}, 10.0});  // hub hears everyone
+  const std::size_t kSatellites = 24;
+  for (std::size_t i = 1; i <= kSatellites; ++i) {
+    // Start far away (no links), radius large enough to link when close.
+    nodes.push_back({static_cast<net::NodeId>(i),
+                     {40.0 + 3.0 * static_cast<double>(i), 0.0},
+                     10.0 + 0.01 * static_cast<double>(i)});
+  }
+  net::DynamicDiskGraph dyn{std::vector<net::Node>(nodes)};
+  sim::ThreadPool pool(2);
+  SkylineCache::Config cfg;
+  cfg.compaction_threshold = 0.05;  // compact eagerly
+  SkylineCache cache(dyn, pool, cfg);
+
+  // Walk satellites into the hub's range one per step, on a ring so each
+  // contributes a distinct skyline arc (growing forwarding set).
+  for (std::size_t i = 1; i <= kSatellites; ++i) {
+    const double angle =
+        2.0 * 3.14159265358979 * static_cast<double>(i - 1) /
+        static_cast<double>(kSatellites);
+    nodes[i].pos = {8.0 * std::cos(angle), 8.0 * std::sin(angle)};
+    const auto& delta = dyn.apply(nodes);
+    cache.update(delta);
+    expect_matches_fresh(cache, dyn, pool, "growing hub");
+  }
+  EXPECT_GT(cache.compaction_count(), 0u);
+
+  // Now scatter them again — sets shrink, dead space accrues, compaction
+  // keeps the store bounded.
+  const std::size_t peak_store = cache.store_size();
+  for (std::size_t i = 1; i <= kSatellites; ++i) {
+    nodes[i].pos = {40.0 + 3.0 * static_cast<double>(i), 0.0};
+    const auto& delta = dyn.apply(nodes);
+    cache.update(delta);
+  }
+  expect_matches_fresh(cache, dyn, pool, "scattered again");
+  EXPECT_LE(cache.store_size(), peak_store);
+}
+
+TEST(SkylineCacheTest, ResultIndependentOfThreadCount) {
+  sim::Xoshiro256 rng(33);
+  net::WaypointParams wp;
+  net::MobileNetwork mobile(small_deploy(), wp, rng);
+  const std::vector<net::Node> start(mobile.nodes().begin(),
+                                     mobile.nodes().end());
+
+  sim::ThreadPool pool1(1);
+  sim::ThreadPool pool4(4);
+  net::DynamicDiskGraph dyn1{std::vector<net::Node>(start)};
+  net::DynamicDiskGraph dyn4{std::vector<net::Node>(start)};
+  SkylineCache cache1(dyn1, pool1);
+  SkylineCache cache4(dyn4, pool4);
+
+  for (int t = 0; t < 10; ++t) {
+    mobile.step(1.0, rng);
+    cache1.update(dyn1.apply(mobile.nodes()));
+    cache4.update(dyn4.apply(mobile.nodes()));
+  }
+  ASSERT_EQ(cache1.size(), cache4.size());
+  EXPECT_EQ(cache1.store_size(), cache4.store_size());
+  for (net::NodeId u = 0; u < cache1.size(); ++u) {
+    const auto a = cache1.forwarding_set(u);
+    const auto b = cache4.forwarding_set(u);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    ASSERT_EQ(cache1.arc_count(u), cache4.arc_count(u));
+  }
+}
+
+TEST(SkylineCacheTest, PositiveToleranceSkipsSubToleranceJitter) {
+  std::vector<net::Node> nodes{
+      {0, {0.0, 0.0}, 1.0}, {1, {0.8, 0.0}, 1.0}, {2, {0.4, 0.6}, 1.0}};
+  net::DynamicDiskGraph dyn{std::vector<net::Node>(nodes)};
+  sim::ThreadPool pool(1);
+  SkylineCache::Config cfg;
+  cfg.position_tolerance = 0.05;
+  SkylineCache cache(dyn, pool, cfg);
+
+  // Jitter node 1 by well under the tolerance: no recompute.
+  nodes[1].pos = {0.81, 0.0};
+  cache.update(dyn.apply(nodes));
+  EXPECT_TRUE(cache.last_dirty().empty());
+
+  // Accumulated drift: repeated sub-tolerance moves eventually exceed the
+  // tolerance relative to the *committed* position and trigger a recompute.
+  bool recomputed = false;
+  for (int i = 2; i <= 8 && !recomputed; ++i) {
+    nodes[1].pos = {0.80 + 0.01 * i, 0.0};
+    cache.update(dyn.apply(nodes));
+    recomputed = !cache.last_dirty().empty();
+  }
+  EXPECT_TRUE(recomputed) << "accumulated drift never dirtied the relay";
+}
+
+}  // namespace
+}  // namespace mldcs::bcast

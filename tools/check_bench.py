@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf-suite run against a checked-in baseline.
+
+Usage: tools/check_bench.py BASELINE.json FRESH.json
+
+The comparison is deliberately coarse — CI runners are noisy, and a quick
+run has a 10x smaller time budget than the checked-in full run — so only
+two failure modes are flagged, both on the allocation-free workspace path
+of the single_relay_skyline section (matched by n_disks):
+
+  * throughput collapse: fresh ops_per_s below baseline/3
+  * any allocation regression: allocs_per_op above the baseline (the
+    workspace engine is allocation-free by design; even 1 alloc/op means
+    the scratch-reuse contract broke)
+
+Exit status: 0 clean, 1 regression, 2 usage/schema error.
+"""
+
+import json
+import sys
+
+MAX_SLOWDOWN = 3.0
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "mldcs-perf-v1":
+        print(f"check_bench: {path}: unexpected schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def by_n_disks(doc, path):
+    entries = doc.get("single_relay_skyline")
+    if not isinstance(entries, list) or not entries:
+        print(f"check_bench: {path}: missing single_relay_skyline section",
+              file=sys.stderr)
+        sys.exit(2)
+    return {e["n_disks"]: e["workspace"] for e in entries}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = by_n_disks(load(sys.argv[1]), sys.argv[1])
+    fresh = by_n_disks(load(sys.argv[2]), sys.argv[2])
+
+    failures = []
+    for n, base in sorted(baseline.items()):
+        cur = fresh.get(n)
+        if cur is None:
+            failures.append(f"n_disks={n}: missing from fresh run")
+            continue
+        ratio = base["ops_per_s"] / cur["ops_per_s"]
+        status = "ok"
+        if cur["ops_per_s"] < base["ops_per_s"] / MAX_SLOWDOWN:
+            failures.append(
+                f"n_disks={n}: throughput collapsed {ratio:.2f}x "
+                f"({base['ops_per_s']:.0f} -> {cur['ops_per_s']:.0f} ops/s)")
+            status = "FAIL"
+        if cur["allocs_per_op"] > base["allocs_per_op"]:
+            failures.append(
+                f"n_disks={n}: workspace path now allocates "
+                f"({base['allocs_per_op']} -> {cur['allocs_per_op']} "
+                f"allocs/op)")
+            status = "FAIL"
+        print(f"  n_disks={n}: {cur['ops_per_s']:.0f} ops/s "
+              f"(baseline/{ratio:.2f}), {cur['allocs_per_op']} allocs/op "
+              f"[{status}]")
+
+    if failures:
+        print("check_bench: REGRESSION", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_bench: OK "
+          f"(workspace path within {MAX_SLOWDOWN}x of baseline, "
+          "no allocation regressions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
