@@ -22,6 +22,13 @@
 ///     bit-identity verified against the rebuild along the way.
 ///
 /// Usage: perf_suite [--quick] [--threads N] [--out PATH]
+///                   [--list-sections] [--section NAME]...
+///                   [--trace PATH] [--telemetry PATH]
+///
+/// --section restricts the run to the named section(s); skipped sections
+/// are simply absent from the JSON (tools/check_bench.py warns and moves
+/// on).  --trace writes a chrome://tracing trace of the run; --telemetry
+/// writes an mldcs-telemetry-v1 registry snapshot (docs/OBSERVABILITY.md).
 
 #include <algorithm>
 #include <atomic>
@@ -45,6 +52,9 @@
 #include "net/dynamic_disk_graph.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -182,12 +192,28 @@ struct JsonWriter {
   }
 };
 
+/// The JSON section names, in run order — the contract shared with
+/// --section, --list-sections, and tools/check_bench.py.
+constexpr const char* kSections[] = {
+    "single_relay_skyline", "batch_all_relays", "graph_build",
+    "batch_all_relays_threads", "mobility_steady_state"};
+
+bool known_section(const std::string& name) {
+  for (const char* s : kSections) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   std::size_t n_threads = 0;  // 0 = hardware concurrency
   std::string out_path = "BENCH_skyline.json";
+  std::string trace_path;
+  std::string telemetry_path;
+  std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -196,12 +222,35 @@ int main(int argc, char** argv) {
       n_threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (arg == "--section" && i + 1 < argc) {
+      sections.emplace_back(argv[++i]);
+      if (!known_section(sections.back())) {
+        std::cerr << "error: unknown section '" << sections.back()
+                  << "' (see --list-sections)\n";
+        return 2;
+      }
+    } else if (arg == "--list-sections") {
+      for (const char* s : kSections) std::cout << s << "\n";
+      return 0;
     } else {
-      std::cerr << "usage: perf_suite [--quick] [--threads N] [--out PATH]\n";
+      std::cerr << "usage: perf_suite [--quick] [--threads N] [--out PATH]\n"
+                   "                  [--list-sections] [--section NAME]...\n"
+                   "                  [--trace PATH] [--telemetry PATH]\n";
       return 2;
     }
   }
   const double budget_ns = quick ? 3e7 : 3e8;
+  // No --section flags = run everything.
+  const auto run_section = [&sections](const char* name) {
+    return sections.empty() ||
+           std::find(sections.begin(), sections.end(), name) !=
+               sections.end();
+  };
+  if (!trace_path.empty()) obs::trace_start();
 
   std::ofstream out(out_path);
   if (!out) {
@@ -222,6 +271,8 @@ int main(int argc, char** argv) {
   j.field("threads", static_cast<std::uint64_t>(pool.size()));
 
   // --- 1. single-relay skyline, workspace vs recursive ---------------------
+  if (run_section("single_relay_skyline")) {
+  const obs::TraceSpan section_span("bench.single_relay_skyline");
   j.open_arr("single_relay_skyline");
   for (const std::size_t n : {std::size_t{64}, std::size_t{256},
                               std::size_t{1024}, std::size_t{4096}}) {
@@ -270,11 +321,13 @@ int main(int argc, char** argv) {
     j.close_obj();
   }
   j.close_arr();
+  }
 
   // --- 2. batched all-relay throughput -------------------------------------
   // The paper's heterogeneous deployment scaled to ~1000 nodes (side fixed,
   // degree raised until node_count_for lands at 1000).
-  {
+  if (run_section("batch_all_relays")) {
+    const obs::TraceSpan section_span("bench.batch_all_relays");
     net::DeploymentParams p;
     p.model = net::RadiusModel::kUniform;
     p.target_avg_degree = 36.8;  // node_count_for(p) ~= 1000 on 12.5 x 12.5
@@ -339,6 +392,8 @@ int main(int argc, char** argv) {
   }
 
   // --- 3. graph build ------------------------------------------------------
+  if (run_section("graph_build")) {
+  const obs::TraceSpan section_span("bench.graph_build");
   j.open_arr("graph_build");
   for (const double scale : (quick ? std::vector<double>{1.0, 4.0}
                                    : std::vector<double>{1.0, 4.0, 16.0})) {
@@ -370,13 +425,15 @@ int main(int argc, char** argv) {
     j.close_obj();
   }
   j.close_arr();
+  }
 
   // --- 4. batched all-relay thread scaling ---------------------------------
   // The same ~1000-node sweep as section 2, at several pool sizes.  On a
   // single-core runner the >1 configurations measure oversubscription
   // overhead rather than speedup; the speedup_vs_1_thread field makes that
   // legible either way.
-  {
+  if (run_section("batch_all_relays_threads")) {
+    const obs::TraceSpan section_span("bench.batch_all_relays_threads");
     net::DeploymentParams p;
     p.model = net::RadiusModel::kUniform;
     p.target_avg_degree = 36.8;
@@ -431,7 +488,8 @@ int main(int argc, char** argv) {
   // aborts on any mismatch — the speedups below are for *bit-identical*
   // output.  Dirty-relay counts are reported so the speedup can be read
   // against how much of the network each regime actually perturbs.
-  {
+  if (run_section("mobility_steady_state")) {
+    const obs::TraceSpan section_span("bench.mobility_steady_state");
     struct MobilityRegime {
       const char* name;
       net::WaypointParams wp;
@@ -562,7 +620,27 @@ int main(int argc, char** argv) {
   j.close_obj();
   out << "\n";
   out.close();
-
   std::cout << "[OK] wrote " << out_path << "\n";
+
+  if (!trace_path.empty()) {
+    obs::trace_stop();
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      std::cerr << "error: cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    obs::write_trace_json(trace_out);
+    std::cout << "[OK] wrote " << trace_path << "\n";
+  }
+  if (!telemetry_path.empty()) {
+    std::ofstream snap_out(telemetry_path);
+    if (!snap_out) {
+      std::cerr << "error: cannot open " << telemetry_path
+                << " for writing\n";
+      return 1;
+    }
+    obs::write_snapshot_json(snap_out, obs::registry());
+    std::cout << "[OK] wrote " << telemetry_path << "\n";
+  }
   return 0;
 }

@@ -18,10 +18,19 @@
 /// incremental step against a full rebuild.
 ///
 /// Usage: mobility_maintenance [periods] [speed] [seed]
+///                              [--trace PATH] [--telemetry PATH]
+///
+/// --trace records the run as chrome://tracing trace events (graph.apply /
+/// cache.update spans per period); --telemetry dumps the process-wide
+/// mldcs-telemetry-v1 registry snapshot — dirty-relay histograms, slot
+/// overflows, compactions, pool busy time (docs/OBSERVABILITY.md).
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "broadcast/all_skylines.hpp"
 #include "broadcast/forwarding.hpp"
@@ -30,6 +39,9 @@
 #include "net/hello.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/table.hpp"
 #include "sim/thread_pool.hpp"
@@ -46,10 +58,33 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 int main(int argc, char** argv) {
   using namespace mldcs;
 
-  const int periods = argc > 1 ? std::atoi(argv[1]) : 20;
-  const double speed = argc > 2 ? std::atof(argv[2]) : 0.25;  // per period
+  // Flags may appear anywhere; whatever remains is the positional
+  // [periods] [speed] [seed] triple.
+  std::string trace_path;
+  std::string telemetry_path;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: mobility_maintenance [periods] [speed] [seed]\n"
+                   "                            [--trace PATH] "
+                   "[--telemetry PATH]\n";
+      return 2;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const int periods = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 20;
+  const double speed =
+      pos.size() > 1 ? std::atof(pos[1].c_str()) : 0.25;  // per period
   const std::uint64_t seed =
-      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 11;
+      pos.size() > 2 ? static_cast<std::uint64_t>(std::atoll(pos[2].c_str()))
+                     : 11;
+  if (!trace_path.empty()) obs::trace_start();
 
   net::DeploymentParams p;
   p.model = net::RadiusModel::kUniform;
@@ -166,5 +201,27 @@ int main(int argc, char** argv) {
                "and fresher (Section 5.1.1), and lets the topology + "
                "forwarding sets be patched incrementally instead of "
                "rebuilt.\n";
+
+  if (!trace_path.empty()) {
+    obs::trace_stop();
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      std::cerr << "error: cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    obs::write_trace_json(trace_out);
+    std::cout << "\nwrote trace to " << trace_path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!telemetry_path.empty()) {
+    std::ofstream snap_out(telemetry_path);
+    if (!snap_out) {
+      std::cerr << "error: cannot open " << telemetry_path
+                << " for writing\n";
+      return 1;
+    }
+    obs::write_snapshot_json(snap_out, obs::registry());
+    std::cout << "wrote telemetry snapshot to " << telemetry_path << "\n";
+  }
   return 0;
 }

@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
 namespace mldcs::bcast {
 
 namespace {
+
+/// Broadcast telemetry (docs/OBSERVABILITY.md): storm pressure
+/// (transmissions, redundant receptions) and coverage outcome per
+/// simulated broadcast.
+struct BcastTelemetry {
+  obs::Counter& broadcasts = obs::registry().counter("bcast.broadcasts");
+  obs::Counter& transmissions =
+      obs::registry().counter("bcast.transmissions");
+  obs::Counter& redundant =
+      obs::registry().counter("bcast.redundant_receptions");
+  obs::Histogram& tx_per_broadcast =
+      obs::registry().histogram("bcast.transmissions_per_broadcast");
+  obs::Histogram& delivery_permille =
+      obs::registry().histogram("bcast.delivery_permille");
+  obs::Histogram& max_hops = obs::registry().histogram("bcast.max_hops");
+};
+
+BcastTelemetry& bcast_telemetry() {
+  static BcastTelemetry t;
+  return t;
+}
 
 /// Receivers of a transmission by u under the chosen reception model.
 std::vector<net::NodeId> receivers_of(const net::DiskGraph& g, net::NodeId u,
@@ -28,6 +52,7 @@ std::vector<net::NodeId> receivers_of(const net::DiskGraph& g, net::NodeId u,
 
 BroadcastResult simulate_broadcast(const net::DiskGraph& g, net::NodeId source,
                                    Scheme scheme, ReceptionModel reception) {
+  const obs::TraceSpan span("bcast.simulate_broadcast");
   BroadcastResult result;
   if (source >= g.size()) return result;
   result.reachable = g.reachable_from(source).size();
@@ -75,6 +100,15 @@ BroadcastResult simulate_broadcast(const net::DiskGraph& g, net::NodeId source,
       }
     }
   }
+
+  BcastTelemetry& t = bcast_telemetry();
+  t.broadcasts.add();
+  t.transmissions.add(result.transmissions);
+  t.redundant.add(result.redundant_receptions);
+  t.tx_per_broadcast.record(result.transmissions);
+  t.delivery_permille.record(
+      static_cast<std::uint64_t>(1000.0 * result.delivery_ratio()));
+  t.max_hops.record(result.max_hops);
   return result;
 }
 

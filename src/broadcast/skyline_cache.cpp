@@ -3,8 +3,36 @@
 #include <algorithm>
 
 #include "broadcast/relay_skyline.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace mldcs::bcast {
+
+namespace {
+
+/// Maintenance telemetry (docs/OBSERVABILITY.md): per-step dirty-relay
+/// distribution, slot overflow / compaction churn, and the live/dead shape
+/// of the slotted store — the signals that tune position_tolerance,
+/// compaction_threshold, and the slot slack policy.
+struct CacheTelemetry {
+  obs::Counter& updates = obs::registry().counter("cache.updates");
+  obs::Counter& dirty_relays = obs::registry().counter("cache.dirty_relays");
+  obs::Counter& slot_overflows =
+      obs::registry().counter("cache.slot_overflows");
+  obs::Counter& compactions = obs::registry().counter("cache.compactions");
+  obs::Histogram& dirty_per_step =
+      obs::registry().histogram("cache.dirty_relays_per_step");
+  obs::Gauge& store_size = obs::registry().gauge("cache.store_size");
+  obs::Gauge& live_ids = obs::registry().gauge("cache.live_ids");
+  obs::Gauge& dead_permille = obs::registry().gauge("cache.dead_permille");
+};
+
+CacheTelemetry& cache_telemetry() {
+  static CacheTelemetry t;
+  return t;
+}
+
+}  // namespace
 
 SkylineCache::SkylineCache(const net::DynamicDiskGraph& g,
                            sim::ThreadPool& pool, Config config)
@@ -32,6 +60,7 @@ void SkylineCache::full_sweep() {
 }
 
 void SkylineCache::update(const net::DynamicDiskGraph::StepDelta& delta) {
+  const obs::TraceSpan span("cache.update");
   const net::DynamicDiskGraph& g = *g_;
   dirty_.clear();
   const auto mark = [this](net::NodeId w) {
@@ -59,6 +88,17 @@ void SkylineCache::update(const net::DynamicDiskGraph::StepDelta& delta) {
 
   recomputes_ += dirty_.size();
   recompute_dirty();
+
+  CacheTelemetry& t = cache_telemetry();
+  t.updates.add();
+  t.dirty_relays.add(dirty_.size());
+  t.dirty_per_step.record(dirty_.size());
+  t.store_size.set(static_cast<std::int64_t>(ids_.size()));
+  t.live_ids.set(static_cast<std::int64_t>(live_ids_));
+  t.dead_permille.set(
+      ids_.empty() ? 0
+                   : static_cast<std::int64_t>(
+                         1000 * dead_ids_ / ids_.size()));
 }
 
 void SkylineCache::recompute_dirty() {
@@ -72,39 +112,45 @@ void SkylineCache::recompute_dirty() {
   // across steps (steady-state updates allocate nothing here).
   const std::size_t n_chunks = std::min(pool_->size(), n_dirty);
   if (chunk_out_.size() < n_chunks) chunk_out_.resize(n_chunks);
-  pool_->parallel_chunks(
-      n_dirty, [&](std::size_t c, std::size_t lo, std::size_t hi) {
-        ChunkOut& co = chunk_out_[c];
-        co.ids.clear();
-        co.lens.clear();
-        co.lo = lo;
-        core::SkylineWorkspace ws;
-        ws.reserve(64);
-        std::vector<geom::Disk> disks;
-        std::vector<core::Arc> arcs;
-        std::vector<std::size_t> sky_set;
-        std::vector<net::NodeId> relay_ids;
-        for (std::size_t k = lo; k < hi; ++k) {
-          const net::NodeId u = dirty_[k];
-          arc_counts_[u] = detail::relay_forwarding_set(
-              g, u, ws, disks, arcs, sky_set, relay_ids);
-          co.ids.insert(co.ids.end(), relay_ids.begin(), relay_ids.end());
-          co.lens.push_back(static_cast<std::uint32_t>(relay_ids.size()));
-        }
-      });
+  {
+    const obs::TraceSpan recompute_span("cache.recompute_dirty");
+    pool_->parallel_chunks(
+        n_dirty, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+          ChunkOut& co = chunk_out_[c];
+          co.ids.clear();
+          co.lens.clear();
+          co.lo = lo;
+          core::SkylineWorkspace ws;
+          ws.reserve(64);
+          std::vector<geom::Disk> disks;
+          std::vector<core::Arc> arcs;
+          std::vector<std::size_t> sky_set;
+          std::vector<net::NodeId> relay_ids;
+          for (std::size_t k = lo; k < hi; ++k) {
+            const net::NodeId u = dirty_[k];
+            arc_counts_[u] = detail::relay_forwarding_set(
+                g, u, ws, disks, arcs, sky_set, relay_ids);
+            co.ids.insert(co.ids.end(), relay_ids.begin(), relay_ids.end());
+            co.lens.push_back(static_cast<std::uint32_t>(relay_ids.size()));
+          }
+        });
+  }
 
   // Phase 2 (serial): patch the slotted store in dirty order — in place
   // when the new set fits the slot, appended otherwise.  Serial and in
   // ascending relay order, so the store layout is deterministic and
   // independent of the pool's thread count.
-  for (std::size_t c = 0; c < n_chunks; ++c) {
-    const ChunkOut& co = chunk_out_[c];
-    std::size_t off = 0;
-    for (std::size_t k = 0; k < co.lens.size(); ++k) {
-      const net::NodeId u = dirty_[co.lo + k];
-      const std::uint32_t len = co.lens[k];
-      store(u, {co.ids.data() + off, len});
-      off += len;
+  {
+    const obs::TraceSpan patch_span("cache.patch_store");
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const ChunkOut& co = chunk_out_[c];
+      std::size_t off = 0;
+      for (std::size_t k = 0; k < co.lens.size(); ++k) {
+        const net::NodeId u = dirty_[co.lo + k];
+        const std::uint32_t len = co.lens[k];
+        store(u, {co.ids.data() + off, len});
+        off += len;
+      }
     }
   }
 
@@ -125,7 +171,9 @@ void SkylineCache::store(net::NodeId u, std::span<const net::NodeId> set) {
     return;
   }
   // Outgrown: abandon the old slot (dead until the next compaction) and
-  // append a fresh one with new slack.
+  // append a fresh one with new slack.  cap == 0 means the slot was never
+  // assigned (initial sweep), not an overflow worth counting.
+  if (s.cap != 0) cache_telemetry().slot_overflows.add();
   dead_ids_ += s.cap;
   s.begin = static_cast<std::uint32_t>(ids_.size());
   s.len = static_cast<std::uint32_t>(set.size());
@@ -135,7 +183,9 @@ void SkylineCache::store(net::NodeId u, std::span<const net::NodeId> set) {
 }
 
 void SkylineCache::compact() {
+  const obs::TraceSpan span("cache.compact");
   ++compactions_;
+  cache_telemetry().compactions.add();
   std::vector<net::NodeId> packed;
   packed.reserve(live_ids_ + live_ids_ / 4 + 2 * slots_.size());
   for (Slot& s : slots_) {

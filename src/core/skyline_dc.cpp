@@ -8,10 +8,30 @@
 #include "core/invariants.hpp"
 #include "geometry/angle.hpp"
 #include "geometry/tolerance.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mldcs::core {
 
 namespace {
+
+/// Engine telemetry (docs/OBSERVABILITY.md).  References are hoisted once;
+/// each compute_skyline_arcs call then costs a handful of relaxed atomic
+/// adds — per *call*, never per arc, so the hard-regime single-relay
+/// overhead stays within the perf suite's noise.
+struct SkylineTelemetry {
+  obs::Counter& calls = obs::registry().counter("skyline.calls");
+  obs::Counter& disks_in = obs::registry().counter("skyline.disks_in");
+  obs::Counter& prefilter_rejects =
+      obs::registry().counter("skyline.prefilter_rejects");
+  obs::Counter& merge_levels = obs::registry().counter("skyline.merge_levels");
+  obs::Gauge& level_arcs_hwm =
+      obs::registry().gauge("skyline.workspace_level_arcs_hwm");
+};
+
+SkylineTelemetry& skyline_telemetry() {
+  static SkylineTelemetry t;
+  return t;
+}
 
 /// Partial skyline `i` of the current level.
 std::span<const Arc> level_skyline(const std::vector<Arc>& arcs,
@@ -120,6 +140,8 @@ void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
   // odd tail skyline is carried to the next level verbatim, so the merge
   // tree has the same O(log n) depth as the recursive halving and every
   // disk goes through O(log n) Merges (Theorem 9's bound).
+  std::uint64_t levels = 0;
+  std::size_t level_arcs_max = ws.cur_.size();
   std::size_t count = ws.live_.size();
   while (count > 1) {
     ws.next_.clear();
@@ -139,9 +161,18 @@ void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
     std::swap(ws.cur_, ws.next_);
     std::swap(ws.bounds_cur_, ws.bounds_next_);
     count = ws.bounds_cur_.size() - 1;
+    ++levels;
+    level_arcs_max = std::max(level_arcs_max, ws.cur_.size());
   }
 
   out.insert(out.end(), ws.cur_.begin(), ws.cur_.end());
+
+  SkylineTelemetry& t = skyline_telemetry();
+  t.calls.add();
+  t.disks_in.add(n);
+  t.prefilter_rejects.add(n - ws.live_.size());
+  t.merge_levels.add(levels);
+  t.level_arcs_hwm.set_max(static_cast<std::int64_t>(level_arcs_max));
 
   if constexpr (kInvariantChecksEnabled) {
     // The full Theorem 3 cross-check is O(n^2); keep it to inputs where the

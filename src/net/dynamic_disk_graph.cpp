@@ -6,7 +6,35 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
 namespace mldcs::net {
+
+namespace {
+
+/// Topology-maintenance telemetry (docs/OBSERVABILITY.md): how much of the
+/// network each step actually perturbs — movers, grid re-buckets, link
+/// flips — the denominators for reading SkylineCache dirty fractions.
+struct GraphTelemetry {
+  obs::Counter& steps = obs::registry().counter("graph.steps");
+  obs::Counter& movers = obs::registry().counter("graph.movers");
+  obs::Counter& rebucketed = obs::registry().counter("graph.rebucketed");
+  obs::Counter& edges_added = obs::registry().counter("graph.edges_added");
+  obs::Counter& edges_removed =
+      obs::registry().counter("graph.edges_removed");
+  obs::Histogram& movers_per_step =
+      obs::registry().histogram("graph.movers_per_step");
+  obs::Histogram& flips_per_step =
+      obs::registry().histogram("graph.link_flips_per_step");
+};
+
+GraphTelemetry& graph_telemetry() {
+  static GraphTelemetry t;
+  return t;
+}
+
+}  // namespace
 
 DynamicDiskGraph::DynamicDiskGraph(std::vector<Node> nodes) {
   for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -106,6 +134,7 @@ void DynamicDiskGraph::rebucket(NodeId u, geom::Vec2 new_pos) {
   const std::size_t new_cell = cell_of(new_pos);
   const std::size_t old_cell = bucket_of_[u];
   if (new_cell == old_cell) return;
+  graph_telemetry().rebucketed.add();
   std::vector<NodeId>& old_bucket = buckets_[old_cell];
   // Bucket order is irrelevant to correctness (adjacency lists are sorted
   // after the exact-distance filter), so swap-erase keeps removal O(1).
@@ -144,6 +173,7 @@ const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
 
 const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply_moved(
     std::span<const Node> current) {
+  const obs::TraceSpan span("graph.apply");
   delta_.link_changed.clear();
   delta_.edges_added = 0;
   delta_.edges_removed = 0;
@@ -213,6 +243,14 @@ const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply_moved(
   delta_.link_changed.erase(
       std::unique(delta_.link_changed.begin(), delta_.link_changed.end()),
       delta_.link_changed.end());
+
+  GraphTelemetry& t = graph_telemetry();
+  t.steps.add();
+  t.movers.add(delta_.moved.size());
+  t.edges_added.add(delta_.edges_added);
+  t.edges_removed.add(delta_.edges_removed);
+  t.movers_per_step.record(delta_.moved.size());
+  t.flips_per_step.record(delta_.edges_added + delta_.edges_removed);
   return delta_;
 }
 

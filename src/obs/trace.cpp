@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#if MLDCS_ENABLE_TELEMETRY
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mldcs::obs {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t t0_ns;   ///< relative to the trace epoch
+  std::int64_t dur_ns;
+};
+
+/// One buffer per thread.  The mutex serializes the owning thread's
+/// appends against a concurrent flush; appends are otherwise uncontended.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::int64_t> epoch_ns{0};
+  std::mutex mu;  ///< guards `buffers` (registration and flush iteration)
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+TraceState& state() {
+  // Leaked: worker threads may record spans during static teardown.
+  static TraceState* s = new TraceState;
+  return *s;
+}
+
+TraceBuffer& local_buffer() {
+  thread_local std::shared_ptr<TraceBuffer> tl = [] {
+    auto buf = std::make_shared<TraceBuffer>();
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    buf->tid = s.next_tid++;
+    s.buffers.push_back(buf);  // registry keeps events past thread exit
+    return buf;
+  }();
+  return *tl;
+}
+
+void write_json_escaped(std::ostream& os, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';  // control chars never appear in span literals
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void trace_start() {
+  TraceState& s = state();
+  std::int64_t expected = 0;
+  // First start fixes the epoch; restarts keep it so event timestamps from
+  // separate start/stop windows stay on one timeline.
+  s.epoch_ns.compare_exchange_strong(expected, now_ns(),
+                                     std::memory_order_relaxed);
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  state().enabled.store(false, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(trace_enabled() ? name : nullptr) {
+  if (name_ != nullptr) t0_ns_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  const std::int64_t t1 = now_ns();
+  const std::int64_t epoch = state().epoch_ns.load(std::memory_order_relaxed);
+  TraceBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back({name_, t0_ns_ - epoch, t1 - t0_ns_});
+}
+
+void write_trace_json(std::ostream& os) {
+  TraceState& s = state();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) os << ",";
+      first = false;
+      // chrome://tracing wants microsecond timestamps; fractional values
+      // keep the ns resolution.
+      os << "{\"name\":\"";
+      write_json_escaped(os, e.name);
+      os << "\",\"cat\":\"mldcs\",\"ph\":\"X\",\"pid\":0,\"tid\":" << buf->tid
+         << ",\"ts\":" << static_cast<double>(e.t0_ns) / 1e3
+         << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3 << "}";
+    }
+    buf->events.clear();
+  }
+  os << "]}\n";
+}
+
+void trace_clear() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+}  // namespace mldcs::obs
+
+#else  // !MLDCS_ENABLE_TELEMETRY
+
+namespace mldcs::obs {
+
+void write_trace_json(std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n";
+}
+
+}  // namespace mldcs::obs
+
+#endif  // MLDCS_ENABLE_TELEMETRY

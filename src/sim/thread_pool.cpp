@@ -1,14 +1,45 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace mldcs::sim {
+
+namespace {
+
+/// Pool telemetry (docs/OBSERVABILITY.md), aggregated across every pool in
+/// the process: executed-task count and total busy wall time (the
+/// utilization numerator — compare against workers x elapsed), plus the
+/// submit-side queue depth and its high-water mark.  Tasks here are
+/// chunk-sized (one per worker per parallel_for), so the two clock reads
+/// per task are noise.
+struct PoolTelemetry {
+  obs::Counter& tasks = obs::registry().counter("pool.tasks_executed");
+  obs::Counter& busy_ns = obs::registry().counter("pool.busy_ns");
+  obs::Gauge& queue_depth = obs::registry().gauge("pool.queue_depth");
+  obs::Gauge& queue_depth_hwm =
+      obs::registry().gauge("pool.queue_depth_hwm");
+};
+
+PoolTelemetry& pool_telemetry() {
+  static PoolTelemetry t;
+  return t;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
     : workers_(threads != 0 ? threads
                             : std::max<std::size_t>(
-                                  1, std::thread::hardware_concurrency())) {}
+                                  1, std::thread::hardware_concurrency())) {
+  // Register the pool metrics up front so snapshots always carry them —
+  // a single-worker pool runs everything inline and would otherwise never
+  // touch the registry.
+  if constexpr (obs::kTelemetryEnabled) pool_telemetry();
+}
 
 ThreadPool::~ThreadPool() {
   {
@@ -41,11 +72,28 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    // Clock reads sit outside the telemetry stubs, so gate them too: with
+    // the kill switch off the worker loop compiles exactly as before.
+    std::int64_t t0 = 0;
+    if constexpr (obs::kTelemetryEnabled) {
+      t0 = std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count();
+    }
     try {
       task();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
+    }
+    if constexpr (obs::kTelemetryEnabled) {
+      const std::int64_t t1 =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      PoolTelemetry& t = pool_telemetry();
+      t.tasks.add();
+      t.busy_ns.add(static_cast<std::uint64_t>(t1 - t0));
     }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -57,11 +105,18 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::submit(std::function<void()> task) {
   ensure_started();
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   task_cv_.notify_one();
+  if constexpr (obs::kTelemetryEnabled) {
+    PoolTelemetry& t = pool_telemetry();
+    t.queue_depth.set(static_cast<std::int64_t>(depth));
+    t.queue_depth_hwm.set_max(static_cast<std::int64_t>(depth));
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -88,10 +143,32 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   pool.parallel_for(n, body);
 }
 
+namespace detail {
+
+std::size_t thread_override(const char* text, std::size_t hw) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  // Hand-rolled parse: strtoul would accept "8abc" and negative wraparound.
+  std::size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    if (value > (std::numeric_limits<std::size_t>::max() - 9) / 10) {
+      return hw;  // absurdly large: clamp rather than overflow
+    }
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  if (value == 0) return 0;
+  return std::min(value, std::max<std::size_t>(1, hw));
+}
+
+}  // namespace detail
+
 ThreadPool& default_pool() {
   // Meyers singleton: thread-safe construction, drained and joined during
   // static destruction (the pool's destructor finishes queued tasks).
-  static ThreadPool pool(0);
+  // MLDCS_THREADS (clamped to hardware_concurrency) pins the size for
+  // reproducible CI/bench runs; the variable is read once, at first use.
+  static ThreadPool pool(detail::thread_override(
+      std::getenv("MLDCS_THREADS"), std::thread::hardware_concurrency()));
   return pool;
 }
 

@@ -152,12 +152,25 @@ void parallel_for(std::size_t n, F&& body, std::size_t threads = 0) {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
-/// Process-wide shared pool (hardware_concurrency workers, created on first
-/// use, destroyed at exit).  The hook for steady-state loops — mobility
-/// maintenance, repeated sweeps — that should reuse one set of workers
-/// across steps instead of paying pool construction per step.  Same
-/// concurrency contract as any ThreadPool; callers must not rely on
-/// exclusive use.
+/// Process-wide shared pool, created on first use, destroyed at exit.  The
+/// hook for steady-state loops — mobility maintenance, repeated sweeps —
+/// that should reuse one set of workers across steps instead of paying
+/// pool construction per step.  Same concurrency contract as any
+/// ThreadPool; callers must not rely on exclusive use.
+///
+/// Size: hardware_concurrency, unless the `MLDCS_THREADS` environment
+/// variable names a positive integer — then that, clamped to
+/// hardware_concurrency.  One env var makes CI and bench runs reproducible
+/// without plumbing --threads through every binary; unparsable or
+/// non-positive values are ignored.
 ThreadPool& default_pool();
+
+namespace detail {
+/// MLDCS_THREADS parsing, exposed for tests: returns the worker count for
+/// the override text `text` (nullptr/empty/invalid/non-positive -> 0, i.e.
+/// "no override, use hardware_concurrency"), clamped to `hw`.
+[[nodiscard]] std::size_t thread_override(const char* text,
+                                          std::size_t hw) noexcept;
+}  // namespace detail
 
 }  // namespace mldcs::sim

@@ -1,0 +1,101 @@
+// Tests for the JSON and Prometheus snapshot exporters: schema fields,
+// name sanitization, and histogram series shape.
+
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace mldcs::obs {
+namespace {
+
+std::string to_json(const Registry& r) {
+  std::ostringstream os;
+  write_snapshot_json(os, r);
+  return os.str();
+}
+
+std::string to_prometheus(const Registry& r) {
+  std::ostringstream os;
+  write_prometheus_text(os, r);
+  return os.str();
+}
+
+TEST(PrometheusTest, EmptyRegistryEmitsNothing) {
+  const Registry r;
+  EXPECT_TRUE(to_prometheus(r).empty());
+}
+
+TEST(SnapshotJsonTest, EmptyRegistrySchema) {
+  const Registry r;
+  const std::string doc = to_json(r);
+  EXPECT_NE(doc.find("\"schema\":\"mldcs-telemetry-v1\""), std::string::npos);
+  EXPECT_NE(doc.find(kTelemetryEnabled ? "\"enabled\":true"
+                                       : "\"enabled\":false"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\":{}"), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\":{}"), std::string::npos);
+}
+
+#if MLDCS_ENABLE_TELEMETRY
+
+TEST(SnapshotJsonTest, MetricsSerialized) {
+  Registry r;
+  r.counter("cache.updates").add(3);
+  r.gauge("cache.dead_permille").set(-12);
+  r.histogram("cache.dirty").record(5);
+  r.histogram("cache.dirty").record(5);
+
+  const std::string doc = to_json(r);
+  EXPECT_NE(doc.find("\"cache.updates\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"cache.dead_permille\":-12"), std::string::npos);
+  EXPECT_NE(doc.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"sum\":10"), std::string::npos);
+  EXPECT_NE(doc.find("\"min\":5"), std::string::npos);
+  EXPECT_NE(doc.find("\"max\":5"), std::string::npos);
+  EXPECT_NE(doc.find("\"buckets\":[{\"lo\":4,\"hi\":7,\"count\":2}]"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, FamiliesTypedAndPrefixed) {
+  Registry r;
+  r.counter("skyline.calls").add(7);
+  r.gauge("pool.queue-depth").set(2);
+
+  const std::string doc = to_prometheus(r);
+  // Names sanitized (alnum-or-underscore) and prefixed with mldcs_.
+  EXPECT_NE(doc.find("# TYPE mldcs_skyline_calls counter"),
+            std::string::npos);
+  EXPECT_NE(doc.find("mldcs_skyline_calls 7"), std::string::npos);
+  EXPECT_NE(doc.find("# TYPE mldcs_pool_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(doc.find("mldcs_pool_queue_depth 2"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramSeriesAreCumulative) {
+  Registry r;
+  Histogram& h = r.histogram("dist");
+  h.record(1);   // bucket [1,1]
+  h.record(6);   // bucket [4,7]
+  h.record(6);
+
+  const std::string doc = to_prometheus(r);
+  EXPECT_NE(doc.find("# TYPE mldcs_dist histogram"), std::string::npos);
+  // Cumulative counts: le="1" sees 1 sample, le="7" sees all 3.
+  EXPECT_NE(doc.find("mldcs_dist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(doc.find("mldcs_dist_bucket{le=\"7\"} 3"), std::string::npos);
+  EXPECT_NE(doc.find("mldcs_dist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(doc.find("mldcs_dist_sum 13"), std::string::npos);
+  EXPECT_NE(doc.find("mldcs_dist_count 3"), std::string::npos);
+}
+
+#endif  // MLDCS_ENABLE_TELEMETRY
+
+}  // namespace
+}  // namespace mldcs::obs

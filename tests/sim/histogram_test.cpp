@@ -77,5 +77,39 @@ TEST(IntHistogramTest, ZeroBinWorks) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(IntHistogramTest, SingleSample) {
+  IntHistogram h;
+  h.add(42);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.min_value(), 42u);
+  EXPECT_EQ(h.max_value(), 42u);
+  EXPECT_EQ(h.mode(), 42u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.count_above(41), 1u);
+  EXPECT_EQ(h.count_above(42), 0u);
+}
+
+TEST(IntHistogramTest, LargeValueGrowsBinsSparsely) {
+  // The bin array is dense up to the largest value seen — large but
+  // bounded values (flooding tails run to ~1e5 trials) must stay exact.
+  IntHistogram h;
+  h.add(100000);
+  h.add(3);
+  EXPECT_EQ(h.bins().size(), 100001u);
+  EXPECT_EQ(h.count(100000), 1u);
+  EXPECT_EQ(h.count(99999), 0u);
+  EXPECT_EQ(h.min_value(), 3u);
+  EXPECT_EQ(h.max_value(), 100000u);
+  EXPECT_DOUBLE_EQ(h.mean(), (100000.0 + 3.0) / 2.0);
+}
+
+TEST(IntHistogramTest, CountAboveAtAndPastTheEnd) {
+  IntHistogram h;
+  h.add(5);
+  EXPECT_EQ(h.count_above(4), 1u);
+  EXPECT_EQ(h.count_above(5), 0u);
+  EXPECT_EQ(h.count_above(1000), 0u);  // threshold past the bins: zero
+}
+
 }  // namespace
 }  // namespace mldcs::sim

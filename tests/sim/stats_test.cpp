@@ -100,5 +100,54 @@ TEST(MeanOfTest, Basics) {
   EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
 }
 
+TEST(RunningStatsTest, ExtremeMagnitudes) {
+  // 1e150 is the largest symmetric pair whose squared deltas stay finite;
+  // the accumulator must not lose the sign or the spread.
+  RunningStats s;
+  s.add(1e150);
+  s.add(-1e150);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1e150);
+  EXPECT_DOUBLE_EQ(s.max(), 1e150);
+  EXPECT_TRUE(std::isfinite(s.variance()));
+  EXPECT_GT(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, LargeOffsetSmallSpread) {
+  // The classic Welford motivation: naive sum-of-squares loses all
+  // precision when the spread is tiny relative to the offset.
+  RunningStats s;
+  for (double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-3);  // exact sample variance of 4,7,13,16
+}
+
+TEST(RunningStatsTest, ConstantSampleHasZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(s.min(), 3.25);
+  EXPECT_DOUBLE_EQ(s.max(), 3.25);
+}
+
+TEST(RunningStatsTest, MergeIntoSingleSample) {
+  RunningStats a, b;
+  a.add(1.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);  // sample variance of {1, 5}
+}
+
+TEST(QuantileTest, ExtremeValuesAndDuplicates) {
+  const std::vector<double> xs{-1e308, 0.0, 0.0, 0.0, 1e308};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), -1e308);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 1e308);
+}
+
 }  // namespace
 }  // namespace mldcs::sim

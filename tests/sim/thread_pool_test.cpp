@@ -80,5 +80,36 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
   for (const auto& id : seen) EXPECT_EQ(id, this_thread);
 }
 
+// MLDCS_THREADS parsing for default_pool() sizing: 0 means "no override".
+TEST(ThreadOverrideTest, UnsetOrEmptyMeansNoOverride) {
+  EXPECT_EQ(detail::thread_override(nullptr, 8), 0u);
+  EXPECT_EQ(detail::thread_override("", 8), 0u);
+}
+
+TEST(ThreadOverrideTest, ValidValueClampedToHardware) {
+  EXPECT_EQ(detail::thread_override("1", 8), 1u);
+  EXPECT_EQ(detail::thread_override("4", 8), 4u);
+  EXPECT_EQ(detail::thread_override("8", 8), 8u);
+  EXPECT_EQ(detail::thread_override("64", 8), 8u);  // clamp, not reject
+}
+
+TEST(ThreadOverrideTest, GarbageAndNonPositiveIgnored) {
+  EXPECT_EQ(detail::thread_override("abc", 8), 0u);
+  EXPECT_EQ(detail::thread_override("8abc", 8), 0u);
+  EXPECT_EQ(detail::thread_override("-2", 8), 0u);
+  EXPECT_EQ(detail::thread_override("3.5", 8), 0u);
+  EXPECT_EQ(detail::thread_override(" 4", 8), 0u);
+  EXPECT_EQ(detail::thread_override("0", 8), 0u);
+}
+
+TEST(ThreadOverrideTest, HugeValueClampsInsteadOfOverflowing) {
+  EXPECT_EQ(detail::thread_override("99999999999999999999999999", 8), 8u);
+}
+
+TEST(ThreadOverrideTest, ZeroHardwareConcurrencyStillYieldsOneWorker) {
+  // hardware_concurrency() may legitimately report 0 ("unknown").
+  EXPECT_EQ(detail::thread_override("4", 0), 1u);
+}
+
 }  // namespace
 }  // namespace mldcs::sim

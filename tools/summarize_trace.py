@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Summarize an mldcs chrome-trace file as a per-phase time table.
+
+Usage: tools/summarize_trace.py TRACE.json [--snapshot SNAPSHOT.json]
+
+TRACE.json is the trace-event file written by `perf_suite --trace` or
+`mobility_maintenance --trace` (obs::write_trace_json): a JSON object with
+a "traceEvents" array of complete ("ph": "X") spans, timestamps and
+durations in microseconds.  The summary groups events by span name and
+prints count, total wall time, mean duration, and share of the summed
+span time — the quick per-phase readout without opening chrome://tracing.
+
+--snapshot additionally validates and summarizes an mldcs-telemetry-v1
+registry snapshot (obs::write_snapshot_json): counter/gauge values and
+histogram count/mean/max per metric.
+
+Exit status: 0 on success (including an empty trace: telemetry compiled
+out or tracing never started), 2 on unreadable input or schema errors.
+Doubles as the CI schema check for both file formats.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"summarize_trace: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def check_trace(doc, path):
+    """Validate the trace-event schema; return the complete-span events."""
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing 'traceEvents' array")
+    spans = []
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        if e.get("ph") != "X":
+            continue  # tolerate non-span phases from other producers
+        for key, typ in (("name", str), ("ts", (int, float)),
+                         ("dur", (int, float)), ("tid", (int, float))):
+            if not isinstance(e.get(key), typ):
+                fail(f"{path}: traceEvents[{i}] has no valid '{key}'")
+        if e["dur"] < 0:
+            fail(f"{path}: traceEvents[{i}] has negative duration")
+        spans.append(e)
+    return spans
+
+
+def print_trace_summary(spans):
+    if not spans:
+        print("trace: no spans recorded (telemetry compiled out, or "
+              "tracing was never started)")
+        return
+    by_name = {}
+    for e in spans:
+        agg = by_name.setdefault(e["name"], [0, 0.0])
+        agg[0] += 1
+        agg[1] += e["dur"]
+    total_us = sum(t for _, t in by_name.values())
+    threads = len({e["tid"] for e in spans})
+    print(f"trace: {len(spans)} spans, {len(by_name)} phases, "
+          f"{threads} thread(s)")
+    header = f"{'phase':<32} {'count':>8} {'total ms':>12} " \
+             f"{'mean us':>12} {'share':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, (count, us) in sorted(by_name.items(),
+                                    key=lambda kv: -kv[1][1]):
+        share = 100.0 * us / total_us if total_us > 0 else 0.0
+        print(f"{name:<32} {count:>8} {us / 1e3:>12.3f} "
+              f"{us / count:>12.2f} {share:>6.1f}%")
+    # Share is of summed span time; nested spans double-count, so the
+    # column can legitimately exceed 100% in aggregate.
+
+
+def check_snapshot(doc, path):
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not a JSON object")
+    if doc.get("schema") != "mldcs-telemetry-v1":
+        fail(f"{path}: unexpected schema {doc.get('schema')!r} "
+             "(expected mldcs-telemetry-v1)")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing '{section}' object")
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict):
+            fail(f"{path}: histogram {name!r} is not an object")
+        for key in ("count", "sum", "min", "max", "mean", "buckets"):
+            if key not in h:
+                fail(f"{path}: histogram {name!r} is missing '{key}'")
+        if not isinstance(h["buckets"], list):
+            fail(f"{path}: histogram {name!r} 'buckets' is not a list")
+
+
+def print_snapshot_summary(doc):
+    enabled = doc.get("enabled", True)
+    n = (len(doc["counters"]) + len(doc["gauges"])
+         + len(doc["histograms"]))
+    print(f"\nsnapshot: {n} metrics "
+          f"(telemetry {'enabled' if enabled else 'compiled out'})")
+    for name, v in sorted(doc["counters"].items()):
+        print(f"  counter   {name:<36} {v}")
+    for name, v in sorted(doc["gauges"].items()):
+        print(f"  gauge     {name:<36} {v}")
+    for name, h in sorted(doc["histograms"].items()):
+        print(f"  histogram {name:<36} count={h['count']} "
+              f"mean={h['mean']:.1f} max={h['max']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize an mldcs trace (and optional telemetry "
+                    "snapshot).")
+    parser.add_argument("trace", help="trace-event JSON from --trace")
+    parser.add_argument("--snapshot",
+                        help="mldcs-telemetry-v1 JSON from --telemetry")
+    args = parser.parse_args()
+
+    spans = check_trace(load_json(args.trace), args.trace)
+    print_trace_summary(spans)
+
+    if args.snapshot:
+        doc = load_json(args.snapshot)
+        check_snapshot(doc, args.snapshot)
+        print_snapshot_summary(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
