@@ -23,12 +23,15 @@
 ///
 /// Usage: perf_suite [--quick] [--threads N] [--out PATH]
 ///                   [--list-sections] [--section NAME]...
-///                   [--trace PATH] [--telemetry PATH]
+///                   [--trace PATH] [--telemetry PATH] [--events PATH]
 ///
 /// --section restricts the run to the named section(s); skipped sections
 /// are simply absent from the JSON (tools/check_bench.py warns and moves
 /// on).  --trace writes a chrome://tracing trace of the run; --telemetry
-/// writes an mldcs-telemetry-v1 registry snapshot (docs/OBSERVABILITY.md).
+/// writes an mldcs-telemetry-v1 registry snapshot; --events arms the
+/// flight recorder and writes an mldcs-events-v1 JSONL log — arming it
+/// perturbs the mobility timings, so use it for forensics runs, not for
+/// regenerating BENCH_skyline.json (docs/OBSERVABILITY.md).
 
 #include <algorithm>
 #include <atomic>
@@ -52,6 +55,7 @@
 #include "net/dynamic_disk_graph.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
+#include "obs/event_log.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -213,6 +217,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_skyline.json";
   std::string trace_path;
   std::string telemetry_path;
+  std::string events_path;
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -226,6 +231,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--telemetry" && i + 1 < argc) {
       telemetry_path = argv[++i];
+    } else if (arg == "--events" && i + 1 < argc) {
+      events_path = argv[++i];
     } else if (arg == "--section" && i + 1 < argc) {
       sections.emplace_back(argv[++i]);
       if (!known_section(sections.back())) {
@@ -239,7 +246,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: perf_suite [--quick] [--threads N] [--out PATH]\n"
                    "                  [--list-sections] [--section NAME]...\n"
-                   "                  [--trace PATH] [--telemetry PATH]\n";
+                   "                  [--trace PATH] [--telemetry PATH]\n"
+                   "                  [--events PATH]\n";
       return 2;
     }
   }
@@ -251,6 +259,7 @@ int main(int argc, char** argv) {
                sections.end();
   };
   if (!trace_path.empty()) obs::trace_start();
+  if (!events_path.empty()) obs::events_start();
 
   std::ofstream out(out_path);
   if (!out) {
@@ -641,6 +650,16 @@ int main(int argc, char** argv) {
     }
     obs::write_snapshot_json(snap_out, obs::registry());
     std::cout << "[OK] wrote " << telemetry_path << "\n";
+  }
+  if (!events_path.empty()) {
+    obs::events_stop();
+    std::ofstream ev_out(events_path);
+    if (!ev_out) {
+      std::cerr << "error: cannot open " << events_path << " for writing\n";
+      return 1;
+    }
+    obs::write_events_jsonl(ev_out);
+    std::cout << "[OK] wrote " << events_path << "\n";
   }
   return 0;
 }

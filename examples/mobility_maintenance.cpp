@@ -19,26 +19,37 @@
 ///
 /// Usage: mobility_maintenance [periods] [speed] [seed]
 ///                              [--trace PATH] [--telemetry PATH]
+///                              [--events PATH] [--watchdog K,M]
 ///
 /// --trace records the run as chrome://tracing trace events (graph.apply /
 /// cache.update spans per period); --telemetry dumps the process-wide
 /// mldcs-telemetry-v1 registry snapshot — dirty-relay histograms, slot
 /// overflows, compactions, pool busy time (docs/OBSERVABILITY.md).
+///
+/// --events records the run in the flight recorder (kStep / kCacheUpdate
+/// causal chain per period) and writes the mldcs-events-v1 JSONL to PATH.
+/// --watchdog K,M audits the skyline cache online: every K periods, M
+/// randomly sampled relays are recomputed from scratch and compared
+/// against the cached forwarding sets (obs/watchdog.hpp); the verdict is
+/// printed at the end and any mismatch makes the run exit 1.
 
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "broadcast/all_skylines.hpp"
+#include "broadcast/cache_watchdog.hpp"
 #include "broadcast/forwarding.hpp"
 #include "broadcast/skyline_cache.hpp"
 #include "net/dynamic_disk_graph.hpp"
 #include "net/hello.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
+#include "obs/event_log.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -62,6 +73,9 @@ int main(int argc, char** argv) {
   // [periods] [speed] [seed] triple.
   std::string trace_path;
   std::string telemetry_path;
+  std::string events_path;
+  std::uint32_t wd_period = 0;  // 0: watchdog off
+  std::uint32_t wd_samples = 8;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,10 +83,28 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--telemetry" && i + 1 < argc) {
       telemetry_path = argv[++i];
+    } else if (arg == "--events" && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (arg == "--watchdog" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t comma = spec.find(',');
+      wd_period = static_cast<std::uint32_t>(
+          std::atoi(spec.substr(0, comma).c_str()));
+      if (comma != std::string::npos) {
+        wd_samples = static_cast<std::uint32_t>(
+            std::atoi(spec.substr(comma + 1).c_str()));
+      }
+      if (wd_period == 0 || wd_samples == 0) {
+        std::cerr << "error: --watchdog expects K,M with K,M >= 1 (got '"
+                  << spec << "')\n";
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: mobility_maintenance [periods] [speed] [seed]\n"
                    "                            [--trace PATH] "
-                   "[--telemetry PATH]\n";
+                   "[--telemetry PATH]\n"
+                   "                            [--events PATH] "
+                   "[--watchdog K,M]\n";
       return 2;
     } else {
       pos.push_back(arg);
@@ -85,6 +117,7 @@ int main(int argc, char** argv) {
       pos.size() > 2 ? static_cast<std::uint64_t>(std::atoll(pos[2].c_str()))
                      : 11;
   if (!trace_path.empty()) obs::trace_start();
+  if (!events_path.empty()) obs::events_start();
 
   net::DeploymentParams p;
   p.model = net::RadiusModel::kUniform;
@@ -100,6 +133,11 @@ int main(int argc, char** argv) {
   net::DynamicDiskGraph dyn{
       std::vector<net::Node>(mobile.nodes().begin(), mobile.nodes().end())};
   bcast::SkylineCache cache(dyn, pool);
+  std::optional<obs::ConsistencyWatchdog> watchdog;
+  if (wd_period > 0) {
+    watchdog.emplace(bcast::make_cache_watchdog(
+        dyn, cache, {.period = wd_period, .samples = wd_samples}));
+  }
 
   std::uint64_t bytes_1hop = 0;
   std::uint64_t bytes_2hop = 0;
@@ -121,6 +159,7 @@ int main(int argc, char** argv) {
     const auto t_inc = std::chrono::steady_clock::now();
     const auto& delta = dyn.apply(mobile.nodes(), mobile.moved_last_step());
     cache.update(delta);
+    if (watchdog) watchdog->on_step(cache.last_update_event());
     incremental_s += seconds_since(t_inc);
     edge_flips += delta.edges_added + delta.edges_removed;
 
@@ -202,6 +241,37 @@ int main(int argc, char** argv) {
                "forwarding sets be patched incrementally instead of "
                "rebuilt.\n";
 
+  if (watchdog) {
+    std::cout << "\nwatchdog verdict (every " << wd_period << " periods, "
+              << wd_samples << " relays/check):\n"
+              << "  checks:              " << watchdog->checks() << "\n"
+              << "  relays audited:      " << watchdog->sampled() << "\n"
+              << "  mismatches:          " << watchdog->mismatches() << "\n";
+    if (watchdog->clean()) {
+      std::cout << "  verdict:             CLEAN (cache == from-scratch on "
+                   "every sampled relay)\n";
+    } else {
+      std::cout << "  verdict:             INCONSISTENT (last at period "
+                << watchdog->last_mismatch_step() << "; relays:";
+      for (const auto u : watchdog->last_mismatched_relays()) {
+        std::cout << ' ' << u;
+      }
+      std::cout << ")\n";
+    }
+  }
+
+  if (!events_path.empty()) {
+    obs::events_stop();
+    std::ofstream events_out(events_path);
+    if (!events_out) {
+      std::cerr << "error: cannot open " << events_path << " for writing\n";
+      return 1;
+    }
+    obs::write_events_jsonl(events_out);
+    std::cout << "\nwrote event log to " << events_path
+              << " (validate/report with tools/mldcs_report.py)\n";
+  }
+
   if (!trace_path.empty()) {
     obs::trace_stop();
     std::ofstream trace_out(trace_path);
@@ -223,5 +293,5 @@ int main(int argc, char** argv) {
     obs::write_snapshot_json(snap_out, obs::registry());
     std::cout << "wrote telemetry snapshot to " << telemetry_path << "\n";
   }
-  return 0;
+  return watchdog && !watchdog->clean() ? 1 : 0;
 }

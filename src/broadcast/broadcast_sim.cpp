@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/event_log.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -62,6 +63,21 @@ BroadcastResult simulate_broadcast(const net::DiskGraph& g, net::NodeId source,
   std::vector<bool> transmitted(g.size(), false);
   std::vector<std::uint64_t> hops(g.size(), 0);
 
+  // Flight recorder (docs/OBSERVABILITY.md): hoisted so the disarmed run
+  // pays one relaxed load per broadcast, not per reception.  rx_event[v]
+  // remembers the reception that delivered v's first copy — the causal
+  // parent of v's own transmission, and of its suppression verdict.
+  const bool ev = obs::events_enabled();
+  std::vector<std::uint64_t> rx_event;
+  if (ev) {
+    rx_event.assign(g.size(), obs::kNoEvent);
+    obs::emit_event(
+        obs::EventType::kBroadcast, source,
+        (static_cast<std::uint32_t>(reception) << 8) |
+            static_cast<std::uint32_t>(scheme),
+        obs::kNoEvent, result.reachable);
+  }
+
   // FIFO queue of pending transmissions keeps hop counts BFS-ordered.
   std::queue<net::NodeId> pending;
   received[source] = true;
@@ -75,6 +91,12 @@ BroadcastResult simulate_broadcast(const net::DiskGraph& g, net::NodeId source,
     if (transmitted[u]) continue;
     transmitted[u] = true;
     ++result.transmissions;
+    std::uint64_t tx_id = obs::kNoEvent;
+    if (ev) {
+      tx_id = obs::emit_event(obs::EventType::kTx,
+                              static_cast<std::uint32_t>(u), obs::kNoNode,
+                              rx_event[u], hops[u]);
+    }
 
     // The sender names its forwarding set from its own local knowledge.
     const std::vector<net::NodeId> fwd =
@@ -91,12 +113,40 @@ BroadcastResult simulate_broadcast(const net::DiskGraph& g, net::NodeId source,
         hops[v] = hops[u] + 1;
         ++result.delivered;
         result.max_hops = std::max(result.max_hops, hops[v]);
+        if (ev) {
+          rx_event[v] = obs::emit_event(
+              obs::EventType::kRx, static_cast<std::uint32_t>(v),
+              static_cast<std::uint32_t>(u), tx_id, hops[v]);
+        }
       } else {
         ++result.redundant_receptions;
+        if (ev) {
+          obs::emit_event(obs::EventType::kDuplicateRx,
+                          static_cast<std::uint32_t>(v),
+                          static_cast<std::uint32_t>(u), tx_id, hops[u] + 1);
+        }
       }
       if (named && !designated[v]) {
         designated[v] = true;
+        if (ev) {
+          obs::emit_event(obs::EventType::kDesignate,
+                          static_cast<std::uint32_t>(v),
+                          static_cast<std::uint32_t>(u), tx_id, 0);
+        }
         if (!transmitted[v]) pending.push(v);
+      }
+    }
+  }
+
+  if (ev) {
+    // Suppression verdicts: nodes that received but were never designated
+    // by any transmission will stay silent — the storm saving, and the
+    // delivery risk, of sender-designated forwarding.
+    for (net::NodeId v = 0; v < g.size(); ++v) {
+      if (received[v] && !designated[v]) {
+        obs::emit_event(obs::EventType::kSuppress,
+                        static_cast<std::uint32_t>(v), obs::kNoNode,
+                        rx_event[v], 0);
       }
     }
   }

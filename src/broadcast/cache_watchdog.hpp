@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file cache_watchdog.hpp
+/// Binds the generic obs::ConsistencyWatchdog to a SkylineCache: the
+/// reference function recomputes one relay's skyline forwarding set from
+/// scratch (relay_skyline.hpp — the same inner loop the cache itself
+/// runs), the cached function reads the slotted store.  Any divergence
+/// means the dirty rule, the slot patching, or the store itself broke.
+///
+/// Usage (one line per mobility step):
+///
+///   auto wd = bcast::make_cache_watchdog(dyn, cache, {.period=16,
+///                                                     .samples=8});
+///   ...
+///   const auto& delta = dyn.apply(...);
+///   cache.update(delta);
+///   wd.on_step(cache.last_update_event());
+///   ...
+///   if (!wd.clean()) alarm(wd.last_mismatched_relays());
+
+#include "broadcast/skyline_cache.hpp"
+#include "net/dynamic_disk_graph.hpp"
+#include "obs/watchdog.hpp"
+
+namespace mldcs::bcast {
+
+/// A watchdog auditing `cache` against from-scratch recomputation on `g`.
+/// Both must outlive the returned watchdog.
+[[nodiscard]] obs::ConsistencyWatchdog make_cache_watchdog(
+    const net::DynamicDiskGraph& g, const SkylineCache& cache,
+    obs::ConsistencyWatchdog::Config config = {});
+
+}  // namespace mldcs::bcast

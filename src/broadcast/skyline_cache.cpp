@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "broadcast/relay_skyline.hpp"
+#include "obs/event_log.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -88,6 +89,12 @@ void SkylineCache::update(const net::DynamicDiskGraph::StepDelta& delta) {
 
   recomputes_ += dirty_.size();
   recompute_dirty();
+
+  ++updates_;
+  last_update_event_ = obs::emit_event(
+      obs::EventType::kCacheUpdate,
+      static_cast<std::uint32_t>(dirty_.size()), obs::kNoNode, delta.event_id,
+      updates_);
 
   CacheTelemetry& t = cache_telemetry();
   t.updates.add();
@@ -180,6 +187,17 @@ void SkylineCache::store(net::NodeId u, std::span<const net::NodeId> set) {
   s.cap = cap_for(set.size());
   ids_.resize(ids_.size() + s.cap);
   std::copy(set.begin(), set.end(), ids_.begin() + s.begin);
+}
+
+void SkylineCache::corrupt_slot_for_testing(net::NodeId u) {
+  Slot& s = slots_[u];
+  if (s.len > 0) {
+    --s.len;
+    --live_ids_;
+    return;
+  }
+  const net::NodeId bogus = u == 0 ? 1 : 0;
+  store(u, {&bogus, 1});
 }
 
 void SkylineCache::compact() {

@@ -43,6 +43,7 @@
 #include "geometry/vec2.hpp"
 #include "net/dynamic_disk_graph.hpp"
 #include "net/node.hpp"
+#include "obs/event_log.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace mldcs::bcast {
@@ -110,6 +111,24 @@ class SkylineCache {
     return compactions_;
   }
 
+  /// Updates applied (excluding the initial sweep).
+  [[nodiscard]] std::uint64_t update_count() const noexcept {
+    return updates_;
+  }
+
+  /// Flight-recorder id of the most recent update's kCacheUpdate event
+  /// (obs::kNoEvent when collection is disarmed) — the causal parent for a
+  /// watchdog check auditing that update.
+  [[nodiscard]] std::uint64_t last_update_event() const noexcept {
+    return last_update_event_;
+  }
+
+  /// Deliberately corrupt relay `u`'s cached forwarding set (drop an entry,
+  /// or plant a bogus one when the true set is empty).  Exists so watchdog
+  /// tests can prove injected corruption is caught; never called by the
+  /// maintenance path.
+  void corrupt_slot_for_testing(net::NodeId u);
+
   /// Current size of the slotted store (live + slack + dead entries).
   [[nodiscard]] std::size_t store_size() const noexcept { return ids_.size(); }
 
@@ -159,6 +178,8 @@ class SkylineCache {
 
   std::uint64_t recomputes_ = 0;
   std::uint64_t compactions_ = 0;
+  std::uint64_t updates_ = 0;
+  std::uint64_t last_update_event_ = obs::kNoEvent;
 };
 
 }  // namespace mldcs::bcast

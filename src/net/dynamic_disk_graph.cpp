@@ -251,6 +251,12 @@ const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply_moved(
   t.edges_removed.add(delta_.edges_removed);
   t.movers_per_step.record(delta_.moved.size());
   t.flips_per_step.record(delta_.edges_added + delta_.edges_removed);
+
+  ++steps_;
+  delta_.event_id = obs::emit_event(
+      obs::EventType::kStep, static_cast<std::uint32_t>(delta_.moved.size()),
+      static_cast<std::uint32_t>(delta_.link_changed.size()), obs::kNoEvent,
+      steps_);
   return delta_;
 }
 

@@ -28,6 +28,7 @@
 
 #include "net/disk_graph.hpp"
 #include "net/node.hpp"
+#include "obs/event_log.hpp"
 
 namespace mldcs::net {
 
@@ -44,6 +45,10 @@ class DynamicDiskGraph {
     std::vector<NodeId> link_changed;
     std::size_t edges_added = 0;
     std::size_t edges_removed = 0;
+    /// Flight-recorder id of this step's kStep event (obs::kNoEvent when
+    /// event collection is disarmed) — the causal parent for downstream
+    /// kCacheUpdate events.
+    std::uint64_t event_id = obs::kNoEvent;
 
     [[nodiscard]] bool empty() const noexcept {
       return moved.empty() && link_changed.empty();
@@ -73,6 +78,9 @@ class DynamicDiskGraph {
   [[nodiscard]] bool linked(NodeId u, NodeId v) const noexcept;
 
   [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Mobility steps applied so far (the `value` of emitted kStep events).
+  [[nodiscard]] std::uint64_t step_count() const noexcept { return steps_; }
 
   [[nodiscard]] double average_degree() const noexcept {
     return nodes_.empty() ? 0.0
@@ -108,6 +116,7 @@ class DynamicDiskGraph {
   std::vector<Node> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;  ///< sorted per node
   std::size_t edges_ = 0;
+  std::uint64_t steps_ = 0;
 
   // Bucketed grid (same geometry as SpatialGrid: cell side = max radius,
   // fixed origin/extent from the initial deployment, out-of-range positions

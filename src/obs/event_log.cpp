@@ -1,0 +1,168 @@
+#include "obs/event_log.hpp"
+
+#include <ostream>
+
+namespace mldcs::obs {
+
+const char* event_type_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::kBroadcast:
+      return "broadcast";
+    case EventType::kTx:
+      return "tx";
+    case EventType::kRx:
+      return "rx";
+    case EventType::kDuplicateRx:
+      return "dup_rx";
+    case EventType::kDesignate:
+      return "designate";
+    case EventType::kSuppress:
+      return "suppress";
+    case EventType::kStep:
+      return "step";
+    case EventType::kCacheUpdate:
+      return "cache_update";
+    case EventType::kWatchdogCheck:
+      return "watchdog_check";
+    case EventType::kWatchdogMismatch:
+      return "watchdog_mismatch";
+  }
+  return "unknown";
+}
+
+}  // namespace mldcs::obs
+
+#if MLDCS_ENABLE_TELEMETRY
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace mldcs::obs {
+
+namespace {
+
+/// One buffer per thread; the mutex serializes the owning thread's appends
+/// against a concurrent flush (same shape as the trace buffers).
+struct EventBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+};
+
+struct EventState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> next_id{0};
+  std::atomic<std::uint64_t> capacity{kDefaultEventCapacity};
+  std::atomic<std::uint64_t> dropped{0};
+  std::mutex mu;  ///< guards `buffers` (registration and flush iteration)
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+};
+
+EventState& state() {
+  // Leaked: worker threads may emit during static teardown.
+  static EventState* s = new EventState;
+  return *s;
+}
+
+EventBuffer& local_buffer() {
+  thread_local std::shared_ptr<EventBuffer> tl = [] {
+    auto buf = std::make_shared<EventBuffer>();
+    EventState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.buffers.push_back(buf);  // registry keeps events past thread exit
+    return buf;
+  }();
+  return *tl;
+}
+
+void write_event_line(std::ostream& os, const Event& e) {
+  os << "{\"id\":" << e.id << ",\"t\":\"" << event_type_name(e.type) << '"';
+  if (e.a != kNoNode) os << ",\"a\":" << e.a;
+  if (e.b != kNoNode) os << ",\"b\":" << e.b;
+  if (e.parent != kNoEvent) os << ",\"parent\":" << e.parent;
+  os << ",\"v\":" << e.value << "}\n";
+}
+
+}  // namespace
+
+void events_start(std::size_t capacity) {
+  EventState& s = state();
+  s.capacity.store(capacity, std::memory_order_relaxed);
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void events_stop() {
+  state().enabled.store(false, std::memory_order_relaxed);
+}
+
+bool events_enabled() noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t emit_event(EventType type, std::uint32_t a, std::uint32_t b,
+                         std::uint64_t parent, std::uint64_t value) noexcept {
+  EventState& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return kNoEvent;
+  const std::uint64_t id = s.next_id.fetch_add(1, std::memory_order_relaxed);
+  if (id >= s.capacity.load(std::memory_order_relaxed)) {
+    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    return kNoEvent;
+  }
+  EventBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back({id, parent, value, a, b, type});
+  return id;
+}
+
+std::uint64_t events_dropped() noexcept {
+  return state().dropped.load(std::memory_order_relaxed);
+}
+
+void events_clear() {
+  EventState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+  s.next_id.store(0, std::memory_order_relaxed);
+  s.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::vector<Event> events_snapshot() {
+  EventState& s = state();
+  std::vector<Event> out;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& buf : s.buffers) {
+      const std::lock_guard<std::mutex> buf_lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.id < y.id; });
+  return out;
+}
+
+void write_events_jsonl(std::ostream& os) {
+  const std::vector<Event> events = events_snapshot();
+  os << "{\"schema\":\"mldcs-events-v1\",\"enabled\":true,\"count\":"
+     << events.size() << ",\"dropped\":" << events_dropped() << "}\n";
+  for (const Event& e : events) write_event_line(os, e);
+}
+
+}  // namespace mldcs::obs
+
+#else  // !MLDCS_ENABLE_TELEMETRY
+
+namespace mldcs::obs {
+
+void write_events_jsonl(std::ostream& os) {
+  os << "{\"schema\":\"mldcs-events-v1\",\"enabled\":false,\"count\":0,"
+        "\"dropped\":0}\n";
+}
+
+}  // namespace mldcs::obs
+
+#endif  // MLDCS_ENABLE_TELEMETRY

@@ -1,0 +1,100 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+
+#include "obs/telemetry.hpp"
+
+namespace mldcs::obs {
+
+namespace {
+
+/// Watchdog telemetry (docs/OBSERVABILITY.md): audit volume and verdicts.
+/// A nonzero `watchdog.mismatches` in a snapshot is the alarm.
+struct WatchdogTelemetry {
+  Counter& checks = registry().counter("watchdog.checks");
+  Counter& sampled = registry().counter("watchdog.sampled_relays");
+  Counter& mismatches = registry().counter("watchdog.mismatches");
+  Gauge& last_mismatch_step =
+      registry().gauge("watchdog.last_mismatch_step");
+};
+
+WatchdogTelemetry& watchdog_telemetry() {
+  static WatchdogTelemetry t;
+  return t;
+}
+
+}  // namespace
+
+ConsistencyWatchdog::ConsistencyWatchdog(std::size_t n_relays,
+                                         ReferenceFn reference, CachedFn cached,
+                                         Config config)
+    : n_relays_(n_relays),
+      reference_(std::move(reference)),
+      cached_(std::move(cached)),
+      config_(config),
+      rng_state_(config.seed != 0 ? config.seed : 0x9E3779B97F4A7C15ull) {
+  if (config_.period == 0) config_.period = 1;
+}
+
+std::uint32_t ConsistencyWatchdog::next_sample() noexcept {
+  // xorshift64*: deterministic, seedable, no <random> on the audit path.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  const std::uint64_t x = rng_state_ * 0x2545F4914F6CDD1Dull;
+  return static_cast<std::uint32_t>(x % n_relays_);
+}
+
+bool ConsistencyWatchdog::on_step(std::uint64_t parent_event) {
+  ++steps_;
+  if (steps_ % config_.period != 0) return true;
+  return check_now(parent_event);
+}
+
+bool ConsistencyWatchdog::check_now(std::uint64_t parent_event) {
+  if (n_relays_ == 0) return true;
+  ++checks_;
+  last_mismatched_.clear();
+
+  // Sample up to `samples` *distinct* relays (without replacement, via
+  // rejection against this check's scratch; samples is clamped to n).
+  const std::size_t want =
+      std::min<std::size_t>(config_.samples, n_relays_);
+  sample_scratch_.clear();
+  while (sample_scratch_.size() < want) {
+    const std::uint32_t u = next_sample();
+    if (std::find(sample_scratch_.begin(), sample_scratch_.end(), u) !=
+        sample_scratch_.end()) {
+      continue;
+    }
+    sample_scratch_.push_back(u);
+  }
+
+  for (const std::uint32_t u : sample_scratch_) {
+    const std::vector<std::uint32_t> want_set = reference_(u);
+    const std::vector<std::uint32_t> got_set = cached_(u);
+    if (want_set != got_set) last_mismatched_.push_back(u);
+  }
+  sampled_ += sample_scratch_.size();
+  mismatches_ += last_mismatched_.size();
+  if (!last_mismatched_.empty()) last_mismatch_step_ = steps_;
+
+  WatchdogTelemetry& t = watchdog_telemetry();
+  t.checks.add();
+  t.sampled.add(sample_scratch_.size());
+  t.mismatches.add(last_mismatched_.size());
+  if (!last_mismatched_.empty()) {
+    t.last_mismatch_step.set(static_cast<std::int64_t>(steps_));
+  }
+
+  const std::uint64_t check_event = emit_event(
+      EventType::kWatchdogCheck, static_cast<std::uint32_t>(want),
+      static_cast<std::uint32_t>(last_mismatched_.size()), parent_event,
+      steps_);
+  for (const std::uint32_t u : last_mismatched_) {
+    emit_event(EventType::kWatchdogMismatch, u, kNoNode, check_event, 0);
+  }
+  return last_mismatched_.empty();
+}
+
+}  // namespace mldcs::obs

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "net/topology.hpp"
+#include "obs/event_log.hpp"
+#include "obs/event_replay.hpp"
 #include "sim/rng.hpp"
 
 namespace mldcs::bcast {
@@ -116,6 +120,78 @@ TEST(BroadcastSimTest, PhysicalReceptionReachesCoveredNonNeighbors) {
   EXPECT_EQ(link.delivered, 1u);
   EXPECT_EQ(phys.delivered, 2u);
 }
+
+// Asymmetric radii under physical coverage: four collinear nodes where the
+// big source covers two nodes it is not linked to.
+//
+//   0:(0,0) r=3.0   1:(1,0) r=1.5   2:(2.4,0) r=1.0   3:(5.5,0) r=1.0
+//
+// Links (dist <= min radii): only 0-1.  reachable_from(0) = {0,1} = 2.
+// Physical flooding from 0: 0's tx covers 1 and 2 (both new); 1's tx
+// covers 0 and 2 (both duplicates); 2's tx covers nobody; 3 is silent.
+TEST(BroadcastSimTest, AsymmetricRadiiPhysicalCoverageCountsStormExactly) {
+  const auto g = net::DiskGraph::build({{0, {0, 0}, 3.0},
+                                        {1, {1, 0}, 1.5},
+                                        {2, {2.4, 0}, 1.0},
+                                        {3, {5.5, 0}, 1.0}});
+  const auto phys = simulate_broadcast(g, 0, Scheme::kFlooding,
+                                       ReceptionModel::kPhysicalCoverage);
+  EXPECT_EQ(phys.transmissions, 3u);
+  EXPECT_EQ(phys.delivered, 3u);
+  EXPECT_EQ(phys.reachable, 2u);
+  EXPECT_EQ(phys.redundant_receptions, 2u);
+  EXPECT_EQ(phys.max_hops, 1u);
+  // More delivered than link-reachable: the ratio exceeds 1 exactly when
+  // one-sided coverage outruns the bidirectional link graph.
+  EXPECT_DOUBLE_EQ(phys.delivery_ratio(), 1.5);
+
+  // Same graph under link reception: 2 is unreachable, and only 1 hears
+  // the relayed copy back.
+  const auto link = simulate_broadcast(g, 0, Scheme::kFlooding,
+                                       ReceptionModel::kBidirectionalLink);
+  EXPECT_EQ(link.transmissions, 2u);
+  EXPECT_EQ(link.delivered, 2u);
+  EXPECT_EQ(link.redundant_receptions, 1u);
+  EXPECT_DOUBLE_EQ(link.delivery_ratio(), 1.0);
+}
+
+#if MLDCS_ENABLE_TELEMETRY
+
+TEST(BroadcastSimTest, AsymmetricScenarioReplayDerivationAgrees) {
+  // The same hand-counted numbers must fall out of the event stream: the
+  // recorder is a second, independent derivation of the storm metrics.
+  const auto g = net::DiskGraph::build({{0, {0, 0}, 3.0},
+                                        {1, {1, 0}, 1.5},
+                                        {2, {2.4, 0}, 1.0},
+                                        {3, {5.5, 0}, 1.0}});
+  obs::events_stop();
+  obs::events_clear();
+  obs::events_start();
+  const auto sim = simulate_broadcast(g, 0, Scheme::kFlooding,
+                                      ReceptionModel::kPhysicalCoverage);
+  obs::events_stop();
+  const auto replays = obs::replay_broadcasts(obs::events_snapshot());
+  obs::events_clear();
+  ASSERT_EQ(replays.size(), 1u);
+  const obs::ReplayedBroadcast& r = replays.front();
+  EXPECT_EQ(r.transmissions, sim.transmissions);
+  EXPECT_EQ(r.delivered, sim.delivered);
+  EXPECT_EQ(r.max_hops, sim.max_hops);
+  EXPECT_EQ(r.reachable, sim.reachable);
+  EXPECT_EQ(r.redundant_receptions, sim.redundant_receptions);
+
+  // Per-node fates pin down *which* receptions were redundant.
+  EXPECT_EQ(r.fate(2).delivered_by, 0u);
+  EXPECT_EQ(r.fate(2).hop, 1u);
+  EXPECT_EQ(r.fate(2).duplicates_heard, 1u);  // 1's copy
+  EXPECT_EQ(r.fate(0).duplicates_heard, 1u);  // 1's copy back at the source
+  EXPECT_FALSE(r.fate(3).received);
+  const auto by_tx = obs::redundancy_by_transmitter(r);
+  ASSERT_EQ(by_tx.size(), 1u);
+  EXPECT_EQ(by_tx.front(), (std::pair<net::NodeId, std::uint64_t>{1, 2}));
+}
+
+#endif  // MLDCS_ENABLE_TELEMETRY
 
 TEST(BroadcastSimTest, TransmissionCountsAreDeterministic) {
   const auto g = random_graph(140, 10, true);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a fresh perf-suite run against a checked-in baseline.
 
-Usage: tools/check_bench.py BASELINE.json FRESH.json
+Usage: tools/check_bench.py BASELINE.json FRESH.json [--history FILE.jsonl]
 
 The comparison is deliberately coarse — CI runners are noisy, and a quick
 run has a 10x smaller time budget than the checked-in full run — so only
@@ -19,12 +19,20 @@ addition) is a named WARNING, not a failure: the comparison that cannot
 be made is skipped and the exit status stays 0.  Only measured
 regressions exit 1.
 
+--history FILE.jsonl additionally appends the fresh run's per-section
+summary (obslib.bench_summary) as one JSON line and prints deltas
+against the previous entry — the longitudinal record CI keeps so a slow
+drift (each step under the 3x gate) is still visible across runs.
+
 Exit status: 0 clean (possibly with warnings), 1 regression,
 2 usage/unreadable-input error.
 """
 
+import argparse
 import json
 import sys
+
+import obslib
 
 MAX_SLOWDOWN = 3.0
 
@@ -35,14 +43,13 @@ def warn(msg):
 
 def load(path):
     try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        doc = obslib.load_json(path)
+    except obslib.SchemaError as e:
+        print(f"check_bench: {e}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("schema") != "mldcs-perf-v1":
+    if doc.get("schema") != obslib.PERF_SCHEMA:
         warn(f"{path}: unexpected schema {doc.get('schema')!r} "
-             "(expected mldcs-perf-v1); comparing anyway")
+             f"(expected {obslib.PERF_SCHEMA}); comparing anyway")
     return doc
 
 
@@ -76,50 +83,118 @@ def by_n_disks(doc, path):
     return out
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
+def flatten(summary, prefix=""):
+    """Flatten a bench_summary dict to (dotted-key, number) pairs."""
+    for key, val in summary.items():
+        name = f"{prefix}{key}"
+        if isinstance(val, dict):
+            yield from flatten(val, f"{name}.")
+        elif isinstance(val, (int, float)) and not isinstance(val, bool):
+            yield name, val
 
-    baseline = by_n_disks(load(sys.argv[1]), sys.argv[1])
-    fresh = by_n_disks(load(sys.argv[2]), sys.argv[2])
-    if baseline is None or fresh is None:
-        print("check_bench: OK (nothing comparable; see warnings)")
-        return 0
+
+def update_history(path, fresh_doc, fresh_path):
+    """Append the fresh run's summary to the history file and print
+    deltas against the previous entry.  History problems are warnings:
+    a corrupt longitudinal record must not gate the current run."""
+    summary = obslib.bench_summary(fresh_doc)
+    previous = None
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    previous = json.loads(line)
+                except ValueError:
+                    warn(f"{path}: skipping unparseable history line")
+    except FileNotFoundError:
+        pass
+    except OSError as e:
+        warn(f"cannot read {path}: {e}")
+
+    entry = {"source": fresh_path, **summary}
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError as e:
+        warn(f"cannot append to {path}: {e}")
+        return
+    print(f"check_bench: history: appended entry to {path}")
+
+    if previous is None:
+        print("check_bench: history: first entry, no deltas")
+        return
+    prev = dict(flatten(previous))
+    for name, val in flatten(summary):
+        if name not in prev:
+            print(f"  {name}: {val:.4g} (new)")
+            continue
+        old = prev[name]
+        if old == 0:
+            delta = "n/a"
+        else:
+            delta = f"{100.0 * (val - old) / old:+.1f}%"
+        print(f"  {name}: {old:.4g} -> {val:.4g} ({delta})")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate a fresh perf run against a baseline.")
+    parser.add_argument("baseline", help="checked-in mldcs-perf-v1 JSON")
+    parser.add_argument("fresh", help="freshly measured mldcs-perf-v1 JSON")
+    parser.add_argument("--history", metavar="FILE.jsonl",
+                        help="append the fresh summary here and print "
+                             "deltas vs the previous entry")
+    args = parser.parse_args()
+
+    fresh_doc = load(args.fresh)
+    baseline = by_n_disks(load(args.baseline), args.baseline)
+    fresh = by_n_disks(fresh_doc, args.fresh)
 
     failures = []
-    for n, base in sorted(baseline.items()):
-        cur = fresh.get(n)
-        if cur is None:
-            # A fresh run that measured fewer sizes (different mode or a
-            # trimmed sweep) is a coverage gap, not a slowdown.
-            warn(f"n_disks={n}: in baseline but not in fresh run; skipping")
-            continue
-        ratio = base["ops_per_s"] / cur["ops_per_s"]
-        status = "ok"
-        if cur["ops_per_s"] < base["ops_per_s"] / MAX_SLOWDOWN:
-            failures.append(
-                f"n_disks={n}: throughput collapsed {ratio:.2f}x "
-                f"({base['ops_per_s']:.0f} -> {cur['ops_per_s']:.0f} ops/s)")
-            status = "FAIL"
-        if cur["allocs_per_op"] > base["allocs_per_op"]:
-            failures.append(
-                f"n_disks={n}: workspace path now allocates "
-                f"({base['allocs_per_op']} -> {cur['allocs_per_op']} "
-                f"allocs/op)")
-            status = "FAIL"
-        print(f"  n_disks={n}: {cur['ops_per_s']:.0f} ops/s "
-              f"(baseline/{ratio:.2f}), {cur['allocs_per_op']} allocs/op "
-              f"[{status}]")
+    if baseline is None or fresh is None:
+        print("check_bench: OK (nothing comparable; see warnings)")
+    else:
+        for n, base in sorted(baseline.items()):
+            cur = fresh.get(n)
+            if cur is None:
+                # A fresh run that measured fewer sizes (different mode or
+                # a trimmed sweep) is a coverage gap, not a slowdown.
+                warn(f"n_disks={n}: in baseline but not in fresh run; "
+                     "skipping")
+                continue
+            ratio = base["ops_per_s"] / cur["ops_per_s"]
+            status = "ok"
+            if cur["ops_per_s"] < base["ops_per_s"] / MAX_SLOWDOWN:
+                failures.append(
+                    f"n_disks={n}: throughput collapsed {ratio:.2f}x "
+                    f"({base['ops_per_s']:.0f} -> {cur['ops_per_s']:.0f} "
+                    "ops/s)")
+                status = "FAIL"
+            if cur["allocs_per_op"] > base["allocs_per_op"]:
+                failures.append(
+                    f"n_disks={n}: workspace path now allocates "
+                    f"({base['allocs_per_op']} -> {cur['allocs_per_op']} "
+                    f"allocs/op)")
+                status = "FAIL"
+            print(f"  n_disks={n}: {cur['ops_per_s']:.0f} ops/s "
+                  f"(baseline/{ratio:.2f}), {cur['allocs_per_op']} "
+                  f"allocs/op [{status}]")
+
+    if args.history:
+        update_history(args.history, fresh_doc, args.fresh)
 
     if failures:
         print("check_bench: REGRESSION", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("check_bench: OK "
-          f"(workspace path within {MAX_SLOWDOWN}x of baseline, "
-          "no allocation regressions)")
+    if baseline is not None and fresh is not None:
+        print("check_bench: OK "
+              f"(workspace path within {MAX_SLOWDOWN}x of baseline, "
+              "no allocation regressions)")
     return 0
 
 

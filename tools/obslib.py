@@ -1,0 +1,211 @@
+"""Shared loading/validation helpers for the mldcs observability tools.
+
+The C++ side emits three JSON document families (docs/OBSERVABILITY.md):
+
+  * chrome-trace files from obs::write_trace_json ("traceEvents" spans),
+  * mldcs-telemetry-v1 registry snapshots from obs::write_snapshot_json,
+  * mldcs-events-v1 flight-recorder JSONL from obs::write_events_jsonl
+    (one header line, then one event object per line),
+
+plus the mldcs-perf-v1 benchmark documents from perf_suite.  Every tool
+that reads one of these (summarize_trace.py, check_bench.py,
+mldcs_report.py) validates through this module so a schema drift fails
+identically everywhere instead of three slightly different ways.
+
+All checkers raise SchemaError with a path-prefixed message; tools decide
+whether that is fatal (CI gates) or a named warning (best-effort reports).
+"""
+
+import json
+
+EVENT_SCHEMA = "mldcs-events-v1"
+TELEMETRY_SCHEMA = "mldcs-telemetry-v1"
+PERF_SCHEMA = "mldcs-perf-v1"
+
+#: Event-type tokens emitted by obs::event_type_name (one per EventType).
+EVENT_TYPES = frozenset({
+    "broadcast", "tx", "rx", "dup_rx", "designate", "suppress",
+    "step", "cache_update", "watchdog_check", "watchdog_mismatch",
+})
+
+
+class SchemaError(Exception):
+    """A document failed to load or does not match its declared schema."""
+
+
+def load_json(path):
+    """Parse one JSON document; raise SchemaError on any failure."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        raise SchemaError(f"cannot read {path}: {e}") from e
+
+
+def check_trace(doc, path):
+    """Validate a chrome-trace document; return its complete-span events."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SchemaError(f"{path}: missing 'traceEvents' array")
+    spans = []
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise SchemaError(f"{path}: traceEvents[{i}] is not an object")
+        if e.get("ph") != "X":
+            continue  # tolerate non-span phases from other producers
+        for key, typ in (("name", str), ("ts", (int, float)),
+                         ("dur", (int, float)), ("tid", (int, float))):
+            if not isinstance(e.get(key), typ):
+                raise SchemaError(
+                    f"{path}: traceEvents[{i}] has no valid '{key}'")
+        if e["dur"] < 0:
+            raise SchemaError(
+                f"{path}: traceEvents[{i}] has negative duration")
+        spans.append(e)
+    return spans
+
+
+def check_snapshot(doc, path):
+    """Validate an mldcs-telemetry-v1 snapshot; return it."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level is not a JSON object")
+    if doc.get("schema") != TELEMETRY_SCHEMA:
+        raise SchemaError(f"{path}: unexpected schema {doc.get('schema')!r} "
+                          f"(expected {TELEMETRY_SCHEMA})")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            raise SchemaError(f"{path}: missing '{section}' object")
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict):
+            raise SchemaError(f"{path}: histogram {name!r} is not an object")
+        for key in ("count", "sum", "min", "max", "mean", "buckets"):
+            if key not in h:
+                raise SchemaError(
+                    f"{path}: histogram {name!r} is missing '{key}'")
+        if not isinstance(h["buckets"], list):
+            raise SchemaError(
+                f"{path}: histogram {name!r} 'buckets' is not a list")
+    return doc
+
+
+def load_events(path):
+    """Load and validate an mldcs-events-v1 JSONL file.
+
+    Returns (header, events): the header dict and the list of event dicts
+    in file order.  Raises SchemaError on unreadable input, a bad header,
+    an unknown event type, non-increasing ids, a parent that does not
+    precede its child, or a count that disagrees with the line count.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in (raw.strip() for raw in f) if ln]
+    except OSError as e:
+        raise SchemaError(f"cannot read {path}: {e}") from e
+    if not lines:
+        raise SchemaError(f"{path}: empty file (expected a header line)")
+
+    def parse(i, line):
+        try:
+            doc = json.loads(line)
+        except ValueError as e:
+            raise SchemaError(f"{path}:{i + 1}: bad JSON: {e}") from e
+        if not isinstance(doc, dict):
+            raise SchemaError(f"{path}:{i + 1}: line is not a JSON object")
+        return doc
+
+    header = parse(0, lines[0])
+    if header.get("schema") != EVENT_SCHEMA:
+        raise SchemaError(f"{path}: unexpected schema "
+                          f"{header.get('schema')!r} "
+                          f"(expected {EVENT_SCHEMA})")
+    for key in ("enabled", "count", "dropped"):
+        if key not in header:
+            raise SchemaError(f"{path}: header is missing '{key}'")
+
+    events = []
+    prev_id = -1
+    for i, line in enumerate(lines[1:], start=1):
+        e = parse(i, line)
+        for key in ("id", "t", "a", "v"):
+            if key not in e:
+                raise SchemaError(f"{path}:{i + 1}: event missing '{key}'")
+        if e["t"] not in EVENT_TYPES:
+            raise SchemaError(
+                f"{path}:{i + 1}: unknown event type {e['t']!r}")
+        if not isinstance(e["id"], int) or e["id"] <= prev_id:
+            raise SchemaError(f"{path}:{i + 1}: ids must be strictly "
+                              f"increasing ({prev_id} then {e['id']})")
+        if "parent" in e and e["parent"] >= e["id"]:
+            raise SchemaError(f"{path}:{i + 1}: parent {e['parent']} does "
+                              f"not precede event {e['id']}")
+        prev_id = e["id"]
+        events.append(e)
+
+    if header["count"] != len(events):
+        raise SchemaError(f"{path}: header count {header['count']} != "
+                          f"{len(events)} event lines (truncated?)")
+    return header, events
+
+
+def check_bench(doc, path):
+    """Validate the mldcs-perf-v1 envelope; return the document."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level is not a JSON object")
+    if doc.get("schema") != PERF_SCHEMA:
+        raise SchemaError(f"{path}: unexpected schema {doc.get('schema')!r} "
+                          f"(expected {PERF_SCHEMA})")
+    return doc
+
+
+def bench_summary(doc):
+    """Reduce an mldcs-perf-v1 document to one flat per-section summary.
+
+    One scalar headline per section — the number you would plot over time
+    — so BENCH_history.jsonl entries stay one line each.  Absent sections
+    are simply absent keys (sectioned runs summarize what they measured).
+    """
+    out = {"mode": doc.get("mode"), "threads": doc.get("threads")}
+
+    srs = doc.get("single_relay_skyline")
+    if isinstance(srs, list) and srs:
+        ops = {e["n_disks"]: e["workspace"]["ops_per_s"] for e in srs
+               if isinstance(e, dict) and isinstance(e.get("workspace"), dict)
+               and "n_disks" in e and "ops_per_s" in e["workspace"]}
+        if ops:
+            out["single_relay_ops_per_s"] = ops
+            out["single_relay_allocs_per_op"] = max(
+                e["workspace"].get("allocs_per_op", 0) for e in srs
+                if isinstance(e, dict) and isinstance(e.get("workspace"),
+                                                      dict))
+
+    batch = doc.get("batch_all_relays")
+    if isinstance(batch, dict) and "batch_relays_per_s" in batch:
+        out["batch_relays_per_s"] = batch["batch_relays_per_s"]
+
+    gb = doc.get("graph_build")
+    if isinstance(gb, list) and gb:
+        per_node = [e["ns_per_node"] for e in gb
+                    if isinstance(e, dict) and "ns_per_node" in e]
+        if per_node:
+            out["graph_build_ns_per_node"] = max(per_node)
+
+    threads = doc.get("batch_all_relays_threads")
+    if isinstance(threads, list) and threads:
+        best = max((e for e in threads
+                    if isinstance(e, dict) and "speedup_vs_1_thread" in e),
+                   key=lambda e: e["speedup_vs_1_thread"], default=None)
+        if best is not None:
+            out["best_thread_speedup"] = best["speedup_vs_1_thread"]
+            out["best_thread_count"] = best.get("threads")
+
+    mob = doc.get("mobility_steady_state")
+    if isinstance(mob, list) and mob:
+        speedups = {e["regime"]: e.get("speedup_vs_full_rebuild")
+                    for e in mob if isinstance(e, dict) and "regime" in e}
+        speedups = {k: v for k, v in speedups.items() if v is not None}
+        if speedups:
+            out["mobility_speedup_vs_full_rebuild"] = speedups
+
+    return out

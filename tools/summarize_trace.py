@@ -14,14 +14,19 @@ span time — the quick per-phase readout without opening chrome://tracing.
 registry snapshot (obs::write_snapshot_json): counter/gauge values and
 histogram count/mean/max per metric.
 
-Exit status: 0 on success (including an empty trace: telemetry compiled
-out or tracing never started), 2 on unreadable input or schema errors.
-Doubles as the CI schema check for both file formats.
+Exit status: 0 on success — including an empty trace (telemetry compiled
+out or tracing never started) and an empty or truncated trace *file*
+(a run that died mid-write; reported as a named warning, since a crashed
+run must not also crash its post-mortem tooling).  2 on a missing file
+or a schema violation in well-formed JSON.  Doubles as the CI schema
+check for both file formats.
 """
 
 import argparse
-import json
+import os
 import sys
+
+import obslib
 
 
 def fail(msg):
@@ -29,35 +34,27 @@ def fail(msg):
     sys.exit(2)
 
 
-def load_json(path):
+def load_trace_spans(path):
+    """Spans from a trace file, or None (with a named warning) when the
+    file is empty or truncated mid-write."""
+    if not os.path.exists(path):
+        fail(f"cannot read {path}: no such file")
+    if os.path.getsize(path) == 0:
+        print(f"summarize_trace: WARNING: {path} is empty "
+              "(run died before the trace was written?); nothing to do")
+        return None
     try:
-        with open(path, encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, ValueError) as e:
-        fail(f"cannot read {path}: {e}")
-
-
-def check_trace(doc, path):
-    """Validate the trace-event schema; return the complete-span events."""
-    if not isinstance(doc, dict):
-        fail(f"{path}: top level is not a JSON object")
-    events = doc.get("traceEvents")
-    if not isinstance(events, list):
-        fail(f"{path}: missing 'traceEvents' array")
-    spans = []
-    for i, e in enumerate(events):
-        if not isinstance(e, dict):
-            fail(f"{path}: traceEvents[{i}] is not an object")
-        if e.get("ph") != "X":
-            continue  # tolerate non-span phases from other producers
-        for key, typ in (("name", str), ("ts", (int, float)),
-                         ("dur", (int, float)), ("tid", (int, float))):
-            if not isinstance(e.get(key), typ):
-                fail(f"{path}: traceEvents[{i}] has no valid '{key}'")
-        if e["dur"] < 0:
-            fail(f"{path}: traceEvents[{i}] has negative duration")
-        spans.append(e)
-    return spans
+        doc = obslib.load_json(path)
+    except obslib.SchemaError as e:
+        # The file exists and has bytes but is not one JSON document:
+        # a truncated write, not a schema drift.
+        print(f"summarize_trace: WARNING: {path} is not valid JSON "
+              f"(truncated write?): {e}")
+        return None
+    try:
+        return obslib.check_trace(doc, path)
+    except obslib.SchemaError as e:
+        fail(str(e))
 
 
 def print_trace_summary(spans):
@@ -87,25 +84,6 @@ def print_trace_summary(spans):
     # column can legitimately exceed 100% in aggregate.
 
 
-def check_snapshot(doc, path):
-    if not isinstance(doc, dict):
-        fail(f"{path}: top level is not a JSON object")
-    if doc.get("schema") != "mldcs-telemetry-v1":
-        fail(f"{path}: unexpected schema {doc.get('schema')!r} "
-             "(expected mldcs-telemetry-v1)")
-    for section in ("counters", "gauges", "histograms"):
-        if not isinstance(doc.get(section), dict):
-            fail(f"{path}: missing '{section}' object")
-    for name, h in doc["histograms"].items():
-        if not isinstance(h, dict):
-            fail(f"{path}: histogram {name!r} is not an object")
-        for key in ("count", "sum", "min", "max", "mean", "buckets"):
-            if key not in h:
-                fail(f"{path}: histogram {name!r} is missing '{key}'")
-        if not isinstance(h["buckets"], list):
-            fail(f"{path}: histogram {name!r} 'buckets' is not a list")
-
-
 def print_snapshot_summary(doc):
     enabled = doc.get("enabled", True)
     n = (len(doc["counters"]) + len(doc["gauges"])
@@ -130,12 +108,16 @@ def main():
                         help="mldcs-telemetry-v1 JSON from --telemetry")
     args = parser.parse_args()
 
-    spans = check_trace(load_json(args.trace), args.trace)
-    print_trace_summary(spans)
+    spans = load_trace_spans(args.trace)
+    if spans is not None:
+        print_trace_summary(spans)
 
     if args.snapshot:
-        doc = load_json(args.snapshot)
-        check_snapshot(doc, args.snapshot)
+        try:
+            doc = obslib.check_snapshot(obslib.load_json(args.snapshot),
+                                        args.snapshot)
+        except obslib.SchemaError as e:
+            fail(str(e))
         print_snapshot_summary(doc)
     return 0
 
