@@ -61,34 +61,17 @@
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/thread_pool.hpp"
+#include "support/alloc_guard.hpp"
 
-// --- Global allocation counter ---------------------------------------------
-// Program-wide replacement of the non-aligned operator new/delete pair; the
-// aligned overloads keep their (independent, malloc-consistent) defaults.
-
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size != 0 ? size : 1);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Allocation counting comes from the shared interposer the tests also use
+// (tests/support/alloc_guard.hpp): referencing allocation_count() links the
+// program-wide counting operator new replacement into this binary.
 
 namespace {
 
 using namespace mldcs;
 
-std::uint64_t allocations() noexcept {
-  return g_alloc_count.load(std::memory_order_relaxed);
-}
+std::uint64_t allocations() noexcept { return test::allocation_count(); }
 
 // --- Measurement harness ---------------------------------------------------
 

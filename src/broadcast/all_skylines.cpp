@@ -20,8 +20,8 @@ double AllSkylines::average_forwarding_size() const noexcept {
                                    static_cast<double>(arc_counts_.size());
 }
 
-AllSkylines compute_all_skylines(const net::DiskGraph& g,
-                                 sim::ThreadPool& pool) {
+MLDCS_HOT_PATH AllSkylines compute_all_skylines(const net::DiskGraph& g,
+                                                sim::ThreadPool& pool) {
   const std::size_t n = g.size();
   AllSkylines out;
   out.offsets_.assign(n + 1, 0);
@@ -31,32 +31,32 @@ AllSkylines compute_all_skylines(const net::DiskGraph& g,
   // Each chunk appends its nodes' forwarding sets to a private blob and
   // records per-node counts in the shared (disjointly indexed) offsets
   // array; chunks cover contiguous node ranges, so stitching is one
-  // straight copy per chunk after a prefix sum.
+  // straight copy per chunk after a prefix sum.  The chunk struct also
+  // carries the per-chunk scratch (skyline workspace plus the local disk
+  // set / arc / index buffers), reused across every node of the range.
   struct ChunkOut {
     std::vector<net::NodeId> ids;
     std::size_t lo = 0;
+    core::SkylineWorkspace ws;
+    std::vector<geom::Disk> disks;
+    std::vector<core::Arc> arcs;
+    std::vector<std::size_t> sky_set;
+    std::vector<net::NodeId> relay_ids;
   };
+  // mldcs-analyze:allow(hot-no-alloc): one-shot sweep setup, O(threads)
   std::vector<ChunkOut> chunk_out(std::min(pool.size(), n));
 
   pool.parallel_chunks(n, [&](std::size_t c, std::size_t lo, std::size_t hi) {
     ChunkOut& co = chunk_out[c];
     co.lo = lo;
-    // Per-chunk scratch, reused across every node of the range: the skyline
-    // engine's workspace plus the local disk set / arc / index buffers.
-    core::SkylineWorkspace ws;
-    ws.reserve(64);
-    std::vector<geom::Disk> disks;
-    std::vector<core::Arc> arcs;
-    std::vector<std::size_t> sky_set;
-    std::vector<net::NodeId> relay_ids;
+    co.ws.reserve(64);
     for (std::size_t u = lo; u < hi; ++u) {
       const net::NodeId id = static_cast<net::NodeId>(u);
-      out.arc_counts_[u] = detail::relay_forwarding_set(g, id, ws, disks,
-                                                        arcs, sky_set,
-                                                        relay_ids);
-      co.ids.insert(co.ids.end(), relay_ids.begin(), relay_ids.end());
+      out.arc_counts_[u] = detail::relay_forwarding_set(
+          g, id, co.ws, co.disks, co.arcs, co.sky_set, co.relay_ids);
+      co.ids.insert(co.ids.end(), co.relay_ids.begin(), co.relay_ids.end());
       // Shifted count; prefix-summed below.
-      out.offsets_[u + 1] = static_cast<std::uint32_t>(relay_ids.size());
+      out.offsets_[u + 1] = static_cast<std::uint32_t>(co.relay_ids.size());
     }
   });
 

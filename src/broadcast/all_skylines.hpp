@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "net/disk_graph.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -70,7 +71,7 @@ class AllSkylines {
 /// Compute the MLDCS forwarding set of every node of `g`, parallelized over
 /// `pool` with one SkylineWorkspace per worker chunk.  Deterministic: the
 /// result is independent of the pool's thread count.
-[[nodiscard]] AllSkylines compute_all_skylines(const net::DiskGraph& g,
-                                               sim::ThreadPool& pool);
+[[nodiscard]] MLDCS_HOT_PATH AllSkylines compute_all_skylines(
+    const net::DiskGraph& g, sim::ThreadPool& pool);
 
 }  // namespace mldcs::bcast

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/arc.hpp"
 #include "core/skyline_dc.hpp"
 #include "geometry/disk.hpp"
@@ -25,12 +26,10 @@ namespace mldcs::bcast::detail {
 /// `arcs`, `sky_set` and `ws` are reusable scratch — one set per worker
 /// makes a whole sweep allocation-free in steady state.
 template <typename Graph>
-std::uint32_t relay_forwarding_set(const Graph& g, net::NodeId id,
-                                   core::SkylineWorkspace& ws,
-                                   std::vector<geom::Disk>& disks,
-                                   std::vector<core::Arc>& arcs,
-                                   std::vector<std::size_t>& sky_set,
-                                   std::vector<net::NodeId>& out_ids) {
+MLDCS_HOT_PATH MLDCS_NO_LOCK std::uint32_t relay_forwarding_set(
+    const Graph& g, net::NodeId id, core::SkylineWorkspace& ws,
+    std::vector<geom::Disk>& disks, std::vector<core::Arc>& arcs,
+    std::vector<std::size_t>& sky_set, std::vector<net::NodeId>& out_ids) {
   const auto nb = g.neighbors(id);
   disks.clear();
   disks.push_back(g.node(id).disk());

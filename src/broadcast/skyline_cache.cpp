@@ -60,7 +60,8 @@ void SkylineCache::full_sweep() {
   dirty_.clear();
 }
 
-void SkylineCache::update(const net::DynamicDiskGraph::StepDelta& delta) {
+MLDCS_HOT_PATH void SkylineCache::update(
+    const net::DynamicDiskGraph::StepDelta& delta) {
   const obs::TraceSpan span("cache.update");
   const net::DynamicDiskGraph& g = *g_;
   dirty_.clear();
@@ -115,8 +116,8 @@ void SkylineCache::recompute_dirty() {
 
   // Phase 1 (parallel): compute every dirty relay's new set into per-chunk
   // buffers; arc counts go straight to the shared array (disjoint indices).
-  // chunk_out_ only ever grows, so chunk buffers keep their capacity
-  // across steps (steady-state updates allocate nothing here).
+  // chunk_out_ only ever grows and carries each chunk's scratch (workspace
+  // plus relay buffers), so steady-state updates allocate nothing here.
   const std::size_t n_chunks = std::min(pool_->size(), n_dirty);
   if (chunk_out_.size() < n_chunks) chunk_out_.resize(n_chunks);
   {
@@ -127,18 +128,13 @@ void SkylineCache::recompute_dirty() {
           co.ids.clear();
           co.lens.clear();
           co.lo = lo;
-          core::SkylineWorkspace ws;
-          ws.reserve(64);
-          std::vector<geom::Disk> disks;
-          std::vector<core::Arc> arcs;
-          std::vector<std::size_t> sky_set;
-          std::vector<net::NodeId> relay_ids;
           for (std::size_t k = lo; k < hi; ++k) {
             const net::NodeId u = dirty_[k];
             arc_counts_[u] = detail::relay_forwarding_set(
-                g, u, ws, disks, arcs, sky_set, relay_ids);
-            co.ids.insert(co.ids.end(), relay_ids.begin(), relay_ids.end());
-            co.lens.push_back(static_cast<std::uint32_t>(relay_ids.size()));
+                g, u, co.ws, co.disks, co.arcs, co.sky_set, co.relay_ids);
+            co.ids.insert(co.ids.end(), co.relay_ids.begin(),
+                          co.relay_ids.end());
+            co.lens.push_back(static_cast<std::uint32_t>(co.relay_ids.size()));
           }
         });
   }
@@ -200,7 +196,7 @@ void SkylineCache::corrupt_slot_for_testing(net::NodeId u) {
   store(u, {&bogus, 1});
 }
 
-void SkylineCache::compact() {
+MLDCS_ALLOC_OK void SkylineCache::compact() {
   const obs::TraceSpan span("cache.compact");
   ++compactions_;
   cache_telemetry().compactions.add();

@@ -37,6 +37,7 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/arc.hpp"
 #include "core/skyline_dc.hpp"
 #include "geometry/disk.hpp"
@@ -70,7 +71,9 @@ class SkylineCache {
 
   /// Recompute the relays dirtied by `delta` (the return value of the
   /// graph's `apply` for this step, which must already be applied).
-  void update(const net::DynamicDiskGraph::StepDelta& delta);
+  /// Steady-state updates are allocation-free: all scratch (dirty set,
+  /// per-chunk workspaces and buffers) is retained across calls.
+  MLDCS_HOT_PATH void update(const net::DynamicDiskGraph::StepDelta& delta);
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
 
@@ -145,10 +148,10 @@ class SkylineCache {
     return static_cast<std::uint32_t>(len + len / 4 + 2);
   }
 
-  void full_sweep();
+  MLDCS_ALLOC_OK void full_sweep();
   void recompute_dirty();
   void store(net::NodeId u, std::span<const net::NodeId> set);
-  void compact();
+  MLDCS_ALLOC_OK void compact();
 
   const net::DynamicDiskGraph* g_;
   sim::ThreadPool* pool_;
@@ -168,11 +171,20 @@ class SkylineCache {
   std::vector<net::NodeId> dirty_;     ///< last update's recomputed relays
   std::vector<std::uint8_t> in_dirty_; ///< membership mask for dirty_
 
-  /// Per-worker-chunk recompute output, stitched serially into the store.
+  /// Per-worker-chunk recompute output plus the chunk's reusable scratch
+  /// (skyline workspace and relay buffers), stitched serially into the
+  /// store.  Keeping the scratch here — not as locals of the recompute
+  /// lambda — is what makes steady-state updates allocation-free: every
+  /// buffer holds its high-water capacity across steps.
   struct ChunkOut {
     std::vector<net::NodeId> ids;
     std::vector<std::uint32_t> lens;
     std::size_t lo = 0;
+    core::SkylineWorkspace ws;
+    std::vector<geom::Disk> disks;
+    std::vector<core::Arc> arcs;
+    std::vector<std::size_t> sky_set;
+    std::vector<net::NodeId> relay_ids;
   };
   std::vector<ChunkOut> chunk_out_;
 

@@ -69,6 +69,7 @@ void report_invariant_violation(const char* expr, const char* file, int line,
 std::string check_arc_list(std::span<const Arc> arcs, std::size_t n_disks) {
   if (arcs.empty()) return {};
   std::ostringstream msg;
+  // mldcs-analyze:allow(tolerance-audit): exact +x-axis split convention
   if (arcs.front().start != 0.0) {
     msg << "first arc starts at " << arcs.front().start
         << " instead of 0 (the +x-axis split convention)";
@@ -97,6 +98,9 @@ std::string check_arc_list(std::span<const Arc> arcs, std::size_t n_disks) {
       return msg.str();
     }
     if (i + 1 < arcs.size()) {
+      // Endpoints must be shared doubles bit-for-bit; approximate
+      // contiguity here would mask drift.
+      // mldcs-analyze:allow(tolerance-audit): exact contiguity by design
       if (arcs[i + 1].start != a.end) {
         msg << "arcs " << i << " and " << i + 1 << " are not exactly "
             << "contiguous: " << a.end << " vs " << arcs[i + 1].start

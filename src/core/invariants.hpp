@@ -33,6 +33,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/annotations.hpp"
 #include "core/skyline.hpp"
 #include "geometry/disk.hpp"
 #include "geometry/vec2.hpp"
@@ -89,7 +90,7 @@ void report_invariant_violation(const char* expr, const char* file, int line,
 /// no arc narrower than kAngleTol (sub-tolerance slivers must have been
 /// coalesced), adjacent arcs from different disks, and all disk indices
 /// below `n_disks` (pass SIZE_MAX to skip the bound).
-[[nodiscard]] std::string check_arc_list(
+[[nodiscard]] MLDCS_ALLOC_OK std::string check_arc_list(
     std::span<const Arc> arcs,
     std::size_t n_disks = std::numeric_limits<std::size_t>::max());
 
@@ -97,7 +98,7 @@ void report_invariant_violation(const char* expr, const char* file, int line,
 /// non-negative, and contains the relay `o` — the geometric form of the
 /// bidirectional-link rule (||o - u_i|| <= r_i means u_i hears o and o
 /// hears u_i at radius r_i).
-[[nodiscard]] std::string check_local_disk_premise(
+[[nodiscard]] MLDCS_ALLOC_OK std::string check_local_disk_premise(
     std::span<const geom::Disk> disks, geom::Vec2 o);
 
 /// Theorem 3 contract of a computed skyline: every kept disk contributes a
@@ -106,7 +107,7 @@ void report_invariant_violation(const char* expr, const char* file, int line,
 /// equals the O(n^2) brute-force reference's set, and the enclosed union
 /// area matches the reference within `area_tol` (absolute, on the paper's
 /// O(10)-sized deployments).  Cost: O(n^2) — gate with kDeepCheckMaxDisks.
-[[nodiscard]] std::string check_skyline_minimality(
+[[nodiscard]] MLDCS_ALLOC_OK std::string check_skyline_minimality(
     std::span<const geom::Disk> disks, const Skyline& sky,
     double area_tol = 1e-7);
 

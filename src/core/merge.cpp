@@ -141,20 +141,20 @@ void resolve_span(double alpha, double beta, std::size_t i, std::size_t j,
 
 }  // namespace
 
-std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
-                                std::span<const Arc> sl2,
-                                std::span<const geom::Disk> disks,
-                                geom::Vec2 o, MergeStats* stats) {
+MLDCS_ALLOC_OK std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
+                                               std::span<const Arc> sl2,
+                                               std::span<const geom::Disk> disks,
+                                               geom::Vec2 o, MergeStats* stats) {
   std::vector<double> breaks;
   std::vector<Arc> out;
   merge_skylines(sl1, sl2, disks, o, breaks, out, stats);
   return out;
 }
 
-void merge_skylines(std::span<const Arc> sl1, std::span<const Arc> sl2,
-                    std::span<const geom::Disk> disks, geom::Vec2 o,
-                    std::vector<double>& breaks, std::vector<Arc>& out,
-                    MergeStats* stats) {
+MLDCS_HOT_PATH MLDCS_NO_LOCK void merge_skylines(
+    std::span<const Arc> sl1, std::span<const Arc> sl2,
+    std::span<const geom::Disk> disks, geom::Vec2 o,
+    std::vector<double>& breaks, std::vector<Arc>& out, MergeStats* stats) {
   if (sl1.empty()) {
     out.insert(out.end(), sl2.begin(), sl2.end());
     return;

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/arc.hpp"
 #include "geometry/disk.hpp"
 #include "geometry/vec2.hpp"
@@ -32,21 +33,21 @@ struct MergeStats {
 /// around relay `o`.  Either input may be empty (the other is returned).
 /// The result is well-formed (normalized).  `stats`, when non-null, is
 /// accumulated into.
-[[nodiscard]] std::vector<Arc> merge_skylines(std::span<const Arc> sl1,
-                                              std::span<const Arc> sl2,
-                                              std::span<const geom::Disk> disks,
-                                              geom::Vec2 o,
-                                              MergeStats* stats = nullptr);
+[[nodiscard]] MLDCS_ALLOC_OK std::vector<Arc> merge_skylines(
+    std::span<const Arc> sl1, std::span<const Arc> sl2,
+    std::span<const geom::Disk> disks, geom::Vec2 o,
+    MergeStats* stats = nullptr);
 
 /// Workspace overload: append the merged, normalized skyline to `out`
 /// (slots before the call's `out.size()` are left untouched), reusing
 /// `breaks` as breakpoint scratch.  Allocation-free once both buffers have
 /// grown to steady-state capacity — this is the hot path of the iterative
 /// skyline engine.  Neither `sl1` nor `sl2` may alias `out`.
-void merge_skylines(std::span<const Arc> sl1, std::span<const Arc> sl2,
-                    std::span<const geom::Disk> disks, geom::Vec2 o,
-                    std::vector<double>& breaks, std::vector<Arc>& out,
-                    MergeStats* stats = nullptr);
+MLDCS_HOT_PATH MLDCS_NO_LOCK void merge_skylines(
+    std::span<const Arc> sl1, std::span<const Arc> sl2,
+    std::span<const geom::Disk> disks, geom::Vec2 o,
+    std::vector<double>& breaks, std::vector<Arc>& out,
+    MergeStats* stats = nullptr);
 
 /// Decide which of two disks is the outer one at ray angle `theta`, with the
 /// library tie-break (larger radial distance; ties -> larger disk radius,

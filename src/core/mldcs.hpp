@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/skyline.hpp"
 #include "geometry/disk.hpp"
 #include "geometry/vec2.hpp"
@@ -67,7 +68,7 @@ class LocalDiskSet {
 /// Validate the local-disk-set precondition without constructing; returns a
 /// human-readable description of the first violation, or an empty string if
 /// valid.
-[[nodiscard]] std::string describe_local_set_violation(
+[[nodiscard]] MLDCS_ALLOC_OK std::string describe_local_set_violation(
     std::span<const geom::Disk> disks, geom::Vec2 o);
 
 }  // namespace mldcs::core

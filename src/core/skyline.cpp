@@ -96,6 +96,7 @@ double Skyline::enclosed_area(std::span<const geom::Disk> disks) const {
 bool Skyline::well_formed(std::span<const Arc> arcs,
                           std::size_t n_disks) noexcept {
   if (arcs.empty()) return true;
+  // mldcs-analyze:allow(tolerance-audit): exact +x-axis split convention
   if (arcs.front().start != 0.0) return false;
   if (!geom::approx_equal(arcs.back().end, kTwoPi, kAngleTol)) return false;
   for (std::size_t i = 0; i < arcs.size(); ++i) {
@@ -104,7 +105,8 @@ bool Skyline::well_formed(std::span<const Arc> arcs,
     if (n_disks != std::numeric_limits<std::size_t>::max() && a.disk >= n_disks)
       return false;
     if (i + 1 < arcs.size()) {
-      if (arcs[i + 1].start != a.end) return false;     // exact contiguity
+      // mldcs-analyze:allow(tolerance-audit): exact contiguity by design
+      if (arcs[i + 1].start != a.end) return false;
       if (arcs[i + 1].disk == a.disk) return false;     // coalesced
     }
   }

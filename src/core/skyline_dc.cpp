@@ -59,7 +59,7 @@ constexpr std::size_t kMaxDominanceChecks = 64;
 
 }  // namespace
 
-void SkylineWorkspace::reserve(std::size_t n_disks) {
+MLDCS_ALLOC_OK void SkylineWorkspace::reserve(std::size_t n_disks) {
   // Lemma 8: any level's concatenated partial skylines total <= 2n arcs
   // (each partial skyline of k disks has <= 2k arcs); Merge's raw Step-2
   // output before coalescing stays within the same constant factor.
@@ -82,9 +82,9 @@ void SkylineWorkspace::clear() noexcept {
   live_ = {};
 }
 
-void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
-                          SkylineWorkspace& ws, std::vector<Arc>& out,
-                          MergeStats* stats) {
+MLDCS_HOT_PATH MLDCS_NO_LOCK void compute_skyline_arcs(
+    std::span<const geom::Disk> disks, geom::Vec2 o, SkylineWorkspace& ws,
+    std::vector<Arc>& out, MergeStats* stats) {
   out.clear();
   const std::size_t n = disks.size();
   if (n == 0) return;
@@ -101,6 +101,11 @@ void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
   std::iota(ws.order_.begin(), ws.order_.end(), 0u);
   std::sort(ws.order_.begin(), ws.order_.end(),
             [&](std::uint32_t a, std::uint32_t b) {
+              // Exact comparison on purpose: the sort is a deterministic
+              // tie-break, not a geometric predicate — a tolerance here
+              // would make the prefilter order (and thus the merge tree)
+              // input-noise dependent.
+              // mldcs-analyze:allow(tolerance-audit): deterministic sort key
               if (disks[a].radius != disks[b].radius) {
                 return disks[a].radius > disks[b].radius;
               }
@@ -178,21 +183,23 @@ void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
     // The full Theorem 3 cross-check is O(n^2); keep it to inputs where the
     // brute-force reference is cheap so checked test runs stay fast.
     if (n <= kDeepCheckMaxDisks) {
+      // mldcs-analyze:allow(hot-no-alloc): debug-only invariant cross-check
       const Skyline sky{o, std::vector<Arc>(out.begin(), out.end())};
       MLDCS_CHECK_OK(check_skyline_minimality(disks, sky));
     }
   }
 }
 
-Skyline compute_skyline(std::span<const geom::Disk> disks, geom::Vec2 o,
-                        SkylineWorkspace& ws, MergeStats* stats) {
+MLDCS_ALLOC_OK Skyline compute_skyline(std::span<const geom::Disk> disks,
+                                       geom::Vec2 o, SkylineWorkspace& ws,
+                                       MergeStats* stats) {
   std::vector<Arc> arcs;
   compute_skyline_arcs(disks, o, ws, arcs, stats);
   return Skyline{o, std::move(arcs)};
 }
 
-Skyline compute_skyline(std::span<const geom::Disk> disks, geom::Vec2 o,
-                        MergeStats* stats) {
+MLDCS_ALLOC_OK Skyline compute_skyline(std::span<const geom::Disk> disks,
+                                       geom::Vec2 o, MergeStats* stats) {
   // One workspace per thread: every legacy call site becomes allocation-
   // free in steady state without signature changes.
   thread_local SkylineWorkspace tl_workspace;

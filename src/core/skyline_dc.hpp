@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/merge.hpp"
 #include "core/skyline.hpp"
 #include "geometry/disk.hpp"
@@ -43,7 +44,7 @@ class SkylineWorkspace {
 
   /// Grow the buffers for local disk sets of up to `n_disks` disks, so the
   /// next compute_skyline call of that size allocates nothing.
-  void reserve(std::size_t n_disks);
+  MLDCS_ALLOC_OK void reserve(std::size_t n_disks);
 
   /// Release all scratch memory (buffers regrow on next use).
   void clear() noexcept;
@@ -76,22 +77,22 @@ class SkylineWorkspace {
 ///
 /// Delegates to the workspace engine through a thread-local workspace, so
 /// repeated calls on one thread reuse scratch automatically.
-[[nodiscard]] Skyline compute_skyline(std::span<const geom::Disk> disks,
-                                      geom::Vec2 o,
-                                      MergeStats* stats = nullptr);
+[[nodiscard]] MLDCS_ALLOC_OK Skyline compute_skyline(
+    std::span<const geom::Disk> disks, geom::Vec2 o,
+    MergeStats* stats = nullptr);
 
 /// Workspace overload: same algorithm and result, with all intermediate
 /// buffers taken from `ws`.  The only allocation is the returned Skyline's
 /// own arc vector; use compute_skyline_arcs to avoid even that.
-[[nodiscard]] Skyline compute_skyline(std::span<const geom::Disk> disks,
-                                      geom::Vec2 o, SkylineWorkspace& ws,
-                                      MergeStats* stats = nullptr);
+[[nodiscard]] MLDCS_ALLOC_OK Skyline compute_skyline(
+    std::span<const geom::Disk> disks, geom::Vec2 o, SkylineWorkspace& ws,
+    MergeStats* stats = nullptr);
 
 /// Fully allocation-free form: writes the final arc list into `out`
 /// (cleared first, capacity reused).  The hot path of the batch all-relay
 /// API.
-void compute_skyline_arcs(std::span<const geom::Disk> disks, geom::Vec2 o,
-                          SkylineWorkspace& ws, std::vector<Arc>& out,
-                          MergeStats* stats = nullptr);
+MLDCS_HOT_PATH MLDCS_NO_LOCK void compute_skyline_arcs(
+    std::span<const geom::Disk> disks, geom::Vec2 o, SkylineWorkspace& ws,
+    std::vector<Arc>& out, MergeStats* stats = nullptr);
 
 }  // namespace mldcs::core

@@ -145,7 +145,7 @@ void DynamicDiskGraph::rebucket(NodeId u, geom::Vec2 new_pos) {
   bucket_of_[u] = static_cast<std::uint32_t>(new_cell);
 }
 
-const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
+MLDCS_HOT_PATH const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
     std::span<const Node> current) {
   if (current.size() != nodes_.size()) {
     throw std::invalid_argument("DynamicDiskGraph::apply: node count changed");
@@ -159,7 +159,7 @@ const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
   return apply_moved(current);
 }
 
-const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
+MLDCS_HOT_PATH const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
     std::span<const Node> current, std::span<const NodeId> moved_hint) {
   if (current.size() != nodes_.size()) {
     throw std::invalid_argument("DynamicDiskGraph::apply: node count changed");
@@ -171,7 +171,8 @@ const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
   return apply_moved(current);
 }
 
-const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply_moved(
+MLDCS_HOT_PATH const DynamicDiskGraph::StepDelta&
+DynamicDiskGraph::apply_moved(
     std::span<const Node> current) {
   const obs::TraceSpan span("graph.apply");
   delta_.link_changed.clear();

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "net/disk_graph.hpp"
 #include "net/node.hpp"
 #include "obs/event_log.hpp"
@@ -94,20 +95,20 @@ class DynamicDiskGraph {
   /// recomputed from the grid, and the resulting edge diffs are patched
   /// into the unmoved endpoints' lists.  Returns the delta of this step;
   /// the reference stays valid until the next `apply`.
-  const StepDelta& apply(std::span<const Node> current);
+  MLDCS_HOT_PATH const StepDelta& apply(std::span<const Node> current);
 
   /// Same, with the moved set supplied by the caller (e.g.
   /// `MobileNetwork::moved_last_step()`), skipping the O(n) change scan.
   /// Ids not in `moved_hint` must be unchanged in `current`.
-  const StepDelta& apply(std::span<const Node> current,
-                         std::span<const NodeId> moved_hint);
+  MLDCS_HOT_PATH const StepDelta& apply(
+      std::span<const Node> current, std::span<const NodeId> moved_hint);
 
   /// Materialize the current topology as an immutable CSR `DiskGraph`
   /// (O(edges) copy of the maintained adjacency — no grid rebuild).
   [[nodiscard]] DiskGraph to_disk_graph() const;
 
  private:
-  const StepDelta& apply_moved(std::span<const Node> current);
+  MLDCS_HOT_PATH const StepDelta& apply_moved(std::span<const Node> current);
   [[nodiscard]] std::size_t cell_of(geom::Vec2 p) const noexcept;
   void query_candidates(geom::Vec2 p, double range,
                         std::vector<NodeId>& out) const;

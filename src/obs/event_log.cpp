@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "core/annotations.hpp"
+
 namespace mldcs::obs {
 
 const char* event_type_name(EventType t) noexcept {
@@ -100,8 +102,12 @@ bool events_enabled() noexcept {
   return state().enabled.load(std::memory_order_relaxed);
 }
 
-std::uint64_t emit_event(EventType type, std::uint32_t a, std::uint32_t b,
-                         std::uint64_t parent, std::uint64_t value) noexcept {
+// Alloc-exempt: the disarmed emit is one relaxed load; the armed path
+// buffers into per-thread storage (bounded by events_start's capacity),
+// and benches measure the skyline path events-disarmed at 0 allocs/op.
+MLDCS_ALLOC_OK std::uint64_t emit_event(EventType type, std::uint32_t a,
+                                        std::uint32_t b, std::uint64_t parent,
+                                        std::uint64_t value) noexcept {
   EventState& s = state();
   if (!s.enabled.load(std::memory_order_relaxed)) return kNoEvent;
   const std::uint64_t id = s.next_id.fetch_add(1, std::memory_order_relaxed);

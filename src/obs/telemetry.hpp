@@ -39,8 +39,9 @@
 
 #if MLDCS_ENABLE_TELEMETRY
 #include <atomic>
-#include <bit>
 #endif
+
+#include <bit>  // Histogram::bucket_of, in both telemetry branches
 
 #include <string>
 #include <string_view>
@@ -269,6 +270,21 @@ class Histogram {
   void record(std::uint64_t) noexcept {}
   [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
+  // The bucket geometry helpers are pure functions (no metric state), so
+  // the stub keeps the real implementations: tools and tests that reason
+  // about bucket layout behave identically in both telemetry modes.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+  }
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t b) noexcept {
+    return b <= 1 ? b : std::uint64_t{1} << (b - 1);
+  }
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t b) noexcept {
+    return b == 0 ? 0
+           : b >= 64
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << b) - 1;
+  }
   [[nodiscard]] HistogramSnapshot snapshot() const { return {}; }
   void reset() noexcept {}
 };

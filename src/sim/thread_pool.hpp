@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace mldcs::sim {
 
 /// Fixed-size persistent thread pool; workers start lazily on first use.
@@ -51,7 +53,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_; }
 
   /// Enqueue one task.  Safe from external threads and from inside tasks.
-  void submit(std::function<void()> task);
+  /// Dispatch infrastructure allocates by design (one type-erased task
+  /// object per call) — hot paths amortize it per chunk, never per item.
+  MLDCS_ALLOC_OK void submit(std::function<void()> task);
 
   /// Block until every submitted task (transitively) has finished, then
   /// rethrow the first task exception recorded since the last wait_idle().
@@ -81,7 +85,7 @@ class ThreadPool {
   /// RNGs): chunk c runs entirely on one worker.  Same chunk boundaries as
   /// parallel_for (deterministic in (n, size()) only).
   template <typename F>
-  void parallel_chunks(std::size_t n, F&& body) {
+  MLDCS_ALLOC_OK void parallel_chunks(std::size_t n, F&& body) {
     if (n == 0) return;
     const std::size_t nthreads = std::min(workers_, n);
     if (nthreads <= 1) {

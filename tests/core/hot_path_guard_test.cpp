@@ -1,0 +1,125 @@
+// Dynamic verification of the MLDCS_HOT_PATH / MLDCS_NO_LOCK annotations:
+// the runtime half of the discipline whose static half is
+// tools/analyze/mldcs_analyze.py.  The static rules cannot see through
+// constructors, default member initializers (telemetry registration), or
+// std::function type erasure (ThreadPool dispatch); these tests run the
+// annotated paths warmed up and assert the steady state performs zero
+// allocations and zero mutex acquisitions, using the interposers in
+// tests/support/.
+//
+// Warm-up matters everywhere here: the amortized-zero contract says scratch
+// *grows to a high-water mark, then stops* — the first pass over a topology
+// allocates (and telemetry registration takes its once-per-process locks);
+// every later pass must be silent.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "core/skyline_dc.hpp"
+#include "sim/rng.hpp"
+#include "support/alloc_guard.hpp"
+#include "support/lock_guard.hpp"
+
+namespace mldcs {
+namespace {
+
+using test::AllocGuard;
+using test::LockGuard;
+
+std::vector<geom::Disk> random_disks(std::size_t n, std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  std::vector<geom::Disk> disks;
+  disks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Vec2 u{rng.uniform(-8.0, 8.0), rng.uniform(-8.0, 8.0)};
+    const double need = std::sqrt(u.x * u.x + u.y * u.y);
+    disks.push_back({u, need + rng.uniform(0.1, 4.0)});
+  }
+  return disks;
+}
+
+// --- Probe self-checks: the interposers must actually count -----------------
+
+TEST(InterposerProbe, CountsHeapAllocations) {
+  if (!test::alloc_probe_active()) GTEST_SKIP() << "allocator owned by ASan";
+  AllocGuard guard;
+  std::vector<int>* v = new std::vector<int>(128);
+  EXPECT_GE(guard.count(), 1u);
+  delete v;
+}
+
+TEST(InterposerProbe, CountsMutexAcquisitions) {
+  if (!test::lock_probe_active()) GTEST_SKIP() << "pthreads owned by TSan";
+  std::mutex mu;
+  LockGuard guard;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+  }
+  EXPECT_GE(guard.count(), 1u);
+}
+
+// --- compute_skyline_arcs: MLDCS_HOT_PATH + MLDCS_NO_LOCK -------------------
+
+TEST(HotPathGuard, SkylineArcsSteadyStateAllocFree) {
+  if (!test::alloc_probe_active()) GTEST_SKIP() << "allocator owned by ASan";
+  if (core::kInvariantChecksEnabled) {
+    GTEST_SKIP() << "invariant diagnostics allocate by design (ALLOC_OK)";
+  }
+  core::SkylineWorkspace ws;
+  std::vector<core::Arc> arcs;
+  const std::vector<geom::Disk> disks = random_disks(96, 7);
+
+  // Warm-up: scratch and telemetry reach steady state.
+  for (int i = 0; i < 3; ++i) {
+    core::compute_skyline_arcs(disks, {0.0, 0.0}, ws, arcs);
+  }
+
+  AllocGuard guard;
+  for (int i = 0; i < 50; ++i) {
+    core::compute_skyline_arcs(disks, {0.0, 0.0}, ws, arcs);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "MLDCS_HOT_PATH contract: warmed-up compute_skyline_arcs must not "
+         "allocate";
+}
+
+TEST(HotPathGuard, SkylineArcsSteadyStateLockFree) {
+  if (!test::lock_probe_active()) GTEST_SKIP() << "pthreads owned by TSan";
+  core::SkylineWorkspace ws;
+  std::vector<core::Arc> arcs;
+  const std::vector<geom::Disk> disks = random_disks(96, 11);
+
+  // Warm-up includes the once-per-process telemetry registration locks.
+  for (int i = 0; i < 3; ++i) {
+    core::compute_skyline_arcs(disks, {0.0, 0.0}, ws, arcs);
+  }
+
+  LockGuard guard;
+  for (int i = 0; i < 50; ++i) {
+    core::compute_skyline_arcs(disks, {0.0, 0.0}, ws, arcs);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "MLDCS_NO_LOCK contract: warmed-up compute_skyline_arcs must not "
+         "take a mutex";
+}
+
+// Growing inputs still allocate (scratch high-water mark moves): the guard
+// must see that, or the zero-readings above prove nothing.
+TEST(HotPathGuard, ColdWorkspaceAllocatesAndGuardSeesIt) {
+  if (!test::alloc_probe_active()) GTEST_SKIP() << "allocator owned by ASan";
+  core::SkylineWorkspace ws;
+  std::vector<core::Arc> arcs;
+  const std::vector<geom::Disk> disks = random_disks(96, 13);
+
+  AllocGuard guard;
+  core::compute_skyline_arcs(disks, {0.0, 0.0}, ws, arcs);
+  EXPECT_GT(guard.count(), 0u)
+      << "a cold workspace must grow (otherwise the probe is dead)";
+}
+
+}  // namespace
+}  // namespace mldcs

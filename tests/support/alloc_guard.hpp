@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file alloc_guard.hpp
+/// Runtime allocation probe for tests and benchmarks: a process-global
+/// `operator new` counter (alloc_interposer.cpp) with an RAII delta reader.
+///
+/// This is the *dynamic* half of the hot-no-alloc discipline.  The static
+/// half — `tools/analyze/mldcs_analyze.py` rule `hot-no-alloc` over the
+/// MLDCS_HOT_PATH annotations — cannot see through constructors, default
+/// member initializers, or std::function type erasure; AllocGuard measures
+/// the path as it actually executes, so the two cross-check each other
+/// (see docs/CORRECTNESS.md, "Static analysis").
+///
+/// Usage:
+///
+///   warm_up();                      // amortized scratch reaches capacity
+///   mldcs::test::AllocGuard guard;
+///   hot_path();
+///   EXPECT_EQ(guard.count(), 0u);
+///
+/// The counter is process-global: run the measured section single-threaded
+/// (or with a 1-thread pool, which executes inline) or concurrent
+/// allocations elsewhere will be attributed to the guard window.  Under
+/// AddressSanitizer the allocator is owned by the sanitizer and the probe
+/// deactivates — gate assertions on alloc_probe_active().
+
+#include <cstdint>
+
+namespace mldcs::test {
+
+/// True when the counting operator new replacement is linked and active
+/// (false under AddressSanitizer, which owns the allocator).
+[[nodiscard]] bool alloc_probe_active() noexcept;
+
+/// Process-global count of non-aligned operator new/new[] calls since
+/// program start.  Monotonic; only deltas are meaningful.
+[[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+/// RAII window over allocation_count().
+class AllocGuard {
+ public:
+  AllocGuard() noexcept : start_(allocation_count()) {}
+
+  /// Allocations since construction (or the last reset()).
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return allocation_count() - start_;
+  }
+
+  void reset() noexcept { start_ = allocation_count(); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace mldcs::test

@@ -1,0 +1,58 @@
+// Program-wide replacement of the non-aligned operator new/delete pair
+// with a counting shim over std::malloc (the aligned overloads keep their
+// independent, malloc-consistent defaults).  Promoted from the counter
+// bench/perf_suite.cpp carried privately, so tests and benches now share
+// one implementation; see tests/support/alloc_guard.hpp for the API and
+// the AddressSanitizer caveat.
+//
+// Link note: this TU is pulled out of the mldcs_testsupport archive by any
+// reference to allocation_count()/alloc_probe_active() — i.e. by using
+// AllocGuard.  A binary that never references them gets the default
+// allocator.
+
+#include "support/alloc_guard.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MLDCS_ALLOC_PROBE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MLDCS_ALLOC_PROBE 0
+#endif
+#endif
+#ifndef MLDCS_ALLOC_PROBE
+#define MLDCS_ALLOC_PROBE 1
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+namespace mldcs::test {
+
+bool alloc_probe_active() noexcept { return MLDCS_ALLOC_PROBE != 0; }
+
+std::uint64_t allocation_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace mldcs::test
+
+#if MLDCS_ALLOC_PROBE
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // MLDCS_ALLOC_PROBE

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file lock_guard.hpp
+/// Runtime lock probe for tests: a process-global pthread_mutex_lock
+/// counter (lock_interposer.cpp) with an RAII delta reader — the dynamic
+/// cross-check of the MLDCS_NO_LOCK static rule (`lock-discipline` in
+/// tools/analyze/), which cannot see locks taken inside constructors or
+/// default member initializers (e.g. telemetry registration).
+///
+/// Usage mirrors AllocGuard:
+///
+///   warm_up();             // one-time static-local registration locks
+///   mldcs::test::LockGuard guard;
+///   lock_free_path();
+///   EXPECT_EQ(guard.count(), 0u);
+///
+/// Under ThreadSanitizer the pthread symbols belong to the sanitizer's
+/// interceptors and the probe deactivates — gate assertions on
+/// lock_probe_active().  The count is process-global; measure
+/// single-threaded windows only.
+
+#include <cstdint>
+
+namespace mldcs::test {
+
+/// True when the counting pthread_mutex_lock interposer is linked and
+/// active (false under ThreadSanitizer).
+[[nodiscard]] bool lock_probe_active() noexcept;
+
+/// Process-global count of pthread_mutex_lock calls resolved through the
+/// interposer since program start.  Monotonic; only deltas are meaningful.
+[[nodiscard]] std::uint64_t lock_count() noexcept;
+
+/// RAII window over lock_count().
+class LockGuard {
+ public:
+  LockGuard() noexcept : start_(lock_count()) {}
+
+  /// Mutex acquisitions since construction (or the last reset()).
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return lock_count() - start_;
+  }
+
+  void reset() noexcept { start_ = lock_count(); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace mldcs::test

@@ -1,0 +1,60 @@
+// Strong-symbol interposition of pthread_mutex_lock: the executable's
+// definition wins over libc's at dynamic link, so every std::mutex::lock /
+// std::lock_guard acquisition in the binary routes through the counting
+// shim below, which forwards to the real implementation via
+// dlsym(RTLD_NEXT).
+//
+// Disabled under ThreadSanitizer: TSan interposes the pthread symbols
+// itself, and a second interposer would bypass its happens-before
+// tracking.  lock_probe_active() lets tests skip cleanly there.
+
+#include "support/lock_guard.hpp"
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__)
+#define MLDCS_LOCK_PROBE 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MLDCS_LOCK_PROBE 0
+#endif
+#endif
+#ifndef MLDCS_LOCK_PROBE
+#define MLDCS_LOCK_PROBE 1
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_lock_count{0};
+}  // namespace
+
+namespace mldcs::test {
+
+bool lock_probe_active() noexcept { return MLDCS_LOCK_PROBE != 0; }
+
+std::uint64_t lock_count() noexcept {
+  return g_lock_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace mldcs::test
+
+#if MLDCS_LOCK_PROBE
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+extern "C" int pthread_mutex_lock(pthread_mutex_t* mutex) {
+  using LockFn = int (*)(pthread_mutex_t*);
+  // Lazy, racy-but-idempotent resolution: concurrent first calls all
+  // dlsym the same symbol.  No std::call_once here — it would recurse
+  // into this very interposer.
+  static std::atomic<LockFn> real{nullptr};
+  LockFn fn = real.load(std::memory_order_acquire);
+  if (fn == nullptr) {
+    fn = reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_lock"));
+    real.store(fn, std::memory_order_release);
+  }
+  g_lock_count.fetch_add(1, std::memory_order_relaxed);
+  return fn(mutex);
+}
+
+#endif  // MLDCS_LOCK_PROBE

@@ -1,0 +1,12 @@
+// Seeded event-vocabulary violations at emit sites.
+#include "obs/event_log.hpp"
+
+namespace fixture {
+
+void emit_sites(EventType dynamic_type) {
+  emit_event(EventType::kAlpha, 1, 2, 0, 0);  // registered: clean
+  emit_event(EventType::kBogus, 1, 2, 0, 0);  // unregistered member
+  emit_event(dynamic_type, 1, 2, 0, 0);       // non-literal type
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Seeded hot-no-alloc violations: every sink below must be caught, both
+// directly in the annotated root and transitively through the call graph.
+#include <memory>
+#include <string>
+#include <vector>
+
+#define MLDCS_HOT_PATH
+#define MLDCS_ALLOC_OK
+
+namespace fixture {
+
+int helper_that_allocates(int n) {
+  int* p = new int[static_cast<unsigned>(n)];  // transitive new-expression
+  int s = p[0];
+  delete[] p;
+  return s;
+}
+
+std::string helper_two(int n) {
+  return std::to_string(n);  // transitive alloc-call
+}
+
+MLDCS_HOT_PATH int hot_root(int n) {
+  std::vector<int> scratch;  // fresh local owning container
+  scratch.push_back(n);
+  int s = helper_that_allocates(n);  // edge into helper
+  s += static_cast<int>(helper_two(n).size());
+  auto owned = std::make_unique<int>(s);  // alloc-call in the root
+  return *owned + static_cast<int>(std::vector<int>(4, n).size());  // temp
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Clean hot-path patterns: none of these may produce a finding.
+#include <vector>
+
+#define MLDCS_HOT_PATH
+#define MLDCS_ALLOC_OK
+
+namespace fixture {
+
+struct Workspace {
+  std::vector<int> scratch;  // member container: fields are not locals
+};
+
+// ALLOC_OK callee: a deliberate allocation subtree the rule must not enter.
+MLDCS_ALLOC_OK std::vector<int> build_table(int n) {
+  std::vector<int> t(static_cast<unsigned>(n));
+  return t;
+}
+
+MLDCS_HOT_PATH int hot_clean(Workspace& ws, std::vector<int>& out, int n) {
+  ws.scratch.clear();
+  for (int i = 0; i < n; ++i) {
+    ws.scratch.push_back(i);  // growth of caller-owned scratch: allowed
+    out.push_back(i * 2);     // growth through a reference parameter
+  }
+  build_table(n);  // edge stops at MLDCS_ALLOC_OK
+  // mldcs-analyze:allow(hot-no-alloc): one-shot setup, measured elsewhere
+  std::vector<int> justified(static_cast<unsigned>(n));
+  return static_cast<int>(ws.scratch.size() + justified.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeded lock-discipline violations under an MLDCS_NO_LOCK root.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#define MLDCS_NO_LOCK
+
+namespace fixture {
+
+std::mutex g_mu;
+
+void helper_that_locks() {
+  const std::lock_guard<std::mutex> lock(g_mu);  // transitive guard
+}
+
+MLDCS_NO_LOCK int lockfree_root(int n) {
+  helper_that_locks();  // edge into the locking helper
+  g_mu.lock();          // direct lock call
+  g_mu.unlock();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // blocking
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Seeded tolerance-audit violations: raw ==/!= on doubles in a geometry
+// file.  Integer comparisons and marker-suppressed lines must not fire.
+namespace fixture {
+
+inline constexpr double kMagic = 0.25;
+
+double radius_of(int i) { return i * 0.5; }
+
+bool compare(double a, double b, int i, int j) {
+  if (a == b) return true;              // raw == on double params
+  if (radius_of(i) != kMagic) return false;  // call + global const
+  if (i == j) return true;              // ints: not flagged
+  // mldcs-analyze:allow(tolerance-audit): exact sentinel check
+  if (b == 0.0) return false;           // suppressed
+  return a != 1.5;                      // literal operand
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#include "obs/event_log.hpp"
+
+namespace fixture {
+
+const char* event_type_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::kAlpha:
+      return "alpha";
+    case EventType::kBeta:
+      return "beta";
+    // seeded: kGamma has no case — exports as "unknown"
+  }
+  return "unknown";
+}
+
+}  // namespace fixture

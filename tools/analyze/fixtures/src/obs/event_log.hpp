@@ -1,0 +1,18 @@
+#pragma once
+// Miniature event vocabulary for the event-vocabulary fixtures.
+#include <cstdint>
+
+namespace fixture {
+
+enum class EventType : std::uint8_t {
+  kAlpha,
+  kBeta,
+  kGamma,  // seeded: no case in event_type_name, not in obslib
+};
+
+const char* event_type_name(EventType t) noexcept;
+
+std::uint64_t emit_event(EventType type, std::uint32_t a, std::uint32_t b,
+                         std::uint64_t parent, std::uint64_t value) noexcept;
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+#pragma once
+// Seeded telemetry-stub-parity violations: the OFF stub is missing one
+// function, carries one signature mismatch, and grew one extra function.
+#include <cstdint>
+
+#ifndef MLDCS_ENABLE_TELEMETRY
+#define MLDCS_ENABLE_TELEMETRY 1
+#endif
+
+namespace fixture {
+
+#if MLDCS_ENABLE_TELEMETRY
+
+class Meter {
+ public:
+  void add(std::uint64_t n) noexcept;
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  void reset() noexcept;  // missing from the OFF stub
+
+ private:
+  void internal_helper();  // private: parity not required
+};
+
+void meters_flush();
+
+#else  // !MLDCS_ENABLE_TELEMETRY
+
+class Meter {
+ public:
+  void add(std::uint32_t) noexcept {}  // signature mismatch (uint32 vs 64)
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void stub_only_surface() noexcept {}  // exists only in the OFF branch
+};
+
+inline void meters_flush() {}
+
+#endif  // MLDCS_ENABLE_TELEMETRY
+
+}  // namespace fixture

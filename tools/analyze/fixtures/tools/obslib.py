@@ -1,0 +1,6 @@
+# Miniature obslib for the event-vocabulary fixtures.  "delta" is seeded
+# stale (no EventType maps to it); "beta" is deliberately missing so the
+# C++-but-not-Python direction fires too.
+EVENT_TYPES = frozenset({
+    "alpha", "delta",
+})

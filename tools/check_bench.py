@@ -23,6 +23,10 @@ regressions exit 1.
 summary (obslib.bench_summary) as one JSON line and prints deltas
 against the previous entry — the longitudinal record CI keeps so a slow
 drift (each step under the 3x gate) is still visible across runs.
+Every line is validated (obslib.check_history_entry) before use:
+unparseable or malformed lines — non-object entries, non-numeric leaf
+values — are skipped with a named warning, deltas are taken against the
+last *valid* entry, and a summary that fails validation is not appended.
 
 Exit status: 0 clean (possibly with warnings), 1 regression,
 2 usage/unreadable-input error.
@@ -101,20 +105,32 @@ def update_history(path, fresh_doc, fresh_path):
     previous = None
     try:
         with open(path, encoding="utf-8") as f:
-            for line in f:
+            for lineno, line in enumerate(f, 1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    previous = json.loads(line)
+                    parsed = json.loads(line)
                 except ValueError:
-                    warn(f"{path}: skipping unparseable history line")
+                    warn(f"{path}:{lineno}: skipping unparseable history "
+                         "line")
+                    continue
+                try:
+                    previous = obslib.check_history_entry(
+                        parsed, f"{path}:{lineno}")
+                except obslib.SchemaError as e:
+                    warn(f"skipping malformed history line: {e}")
     except FileNotFoundError:
         pass
     except OSError as e:
         warn(f"cannot read {path}: {e}")
 
     entry = {"source": fresh_path, **summary}
+    try:
+        obslib.check_history_entry(entry, fresh_path)
+    except obslib.SchemaError as e:
+        warn(f"not appending: this run's summary is malformed: {e}")
+        return
     try:
         with open(path, "a", encoding="utf-8") as f:
             f.write(json.dumps(entry, sort_keys=True) + "\n")

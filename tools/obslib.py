@@ -159,6 +159,39 @@ def check_bench(doc, path):
     return doc
 
 
+def check_history_entry(entry, where):
+    """Validate one BENCH_history.jsonl line; raise SchemaError otherwise.
+
+    A history line is a flattened mldcs-perf-v1 summary (bench_summary
+    output plus a 'source' tag): a JSON object whose leaves are numbers
+    (the plottable series), strings, or null, with at least one numeric
+    leaf — anything else cannot be delta-compared and would poison the
+    longitudinal record.
+    """
+    if not isinstance(entry, dict):
+        raise SchemaError(f"{where}: history entry is not a JSON object")
+
+    has_number = False
+
+    def walk(d, prefix):
+        nonlocal has_number
+        for key, val in d.items():
+            name = f"{prefix}{key}"
+            if isinstance(val, dict):
+                walk(val, name + ".")
+            elif isinstance(val, (int, float)) and not isinstance(val, bool):
+                has_number = True
+            elif not isinstance(val, (str, bool)) and val is not None:
+                raise SchemaError(
+                    f"{where}: history field {name!r} is neither a number, "
+                    "a string, nor null")
+
+    walk(entry, "")
+    if not has_number:
+        raise SchemaError(f"{where}: history entry has no numeric fields")
+    return entry
+
+
 def bench_summary(doc):
     """Reduce an mldcs-perf-v1 document to one flat per-section summary.
 

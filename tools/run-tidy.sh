@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
-# Run clang-tidy over src/ using the project's compile database.
+# Run clang-tidy over src/, tests/, bench/ and examples/ using the
+# project's compile database (test and bench sources carry the same bug
+# classes as the engine — uninitialized locals, pessimizing copies — and
+# the gtest/benchmark macros expand from system headers, so they do not
+# drown the output in third-party noise).
 #
 # Usage: tools/run-tidy.sh [build-dir] [extra clang-tidy args...]
 #   build-dir defaults to "build"; it is configured on the fly (with
@@ -47,8 +51,13 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 fi
 
-mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
-echo "run-tidy: ${tidy} over ${#sources[@]} files in src/ (db: ${build_dir})"
+# Everything the compile database covers; tools/analyze/fixtures/ is the
+# analyzer's seeded-violation corpus and is deliberately never compiled.
+mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tests" \
+                            "${repo_root}/bench" "${repo_root}/examples" \
+                            -name '*.cpp' | sort)
+echo "run-tidy: ${tidy} over ${#sources[@]} files in" \
+     "src/ tests/ bench/ examples/ (db: ${build_dir})"
 
 jobs="${TIDY_JOBS:-$(nproc)}"
 printf '%s\n' "${sources[@]}" \
