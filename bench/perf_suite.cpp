@@ -20,6 +20,14 @@
 ///     edge diffs + SkylineCache dirty-relay recomputation) vs a full
 ///     per-step rebuild, across mobility regimes, with per-step
 ///     bit-identity verified against the rebuild along the way.
+///  6. single-relay skyline SIMD dispatch: the workspace engine under the
+///     runtime-dispatched kernels vs the same engine pinned to the scalar
+///     reference kernels (ScopedKernelOverride), so a silent regression to
+///     the fallback shows up as simd_vs_scalar_speedup ~ 1.0.
+///
+/// The JSON header carries a provenance object (compiler, build flags,
+/// detected SIMD ISA, dispatch choice) so BENCH_history.jsonl deltas are
+/// attributable to toolchain or dispatch changes, not just code.
 ///
 /// Usage: perf_suite [--quick] [--threads N] [--out PATH]
 ///                   [--list-sections] [--section NAME]...
@@ -52,6 +60,7 @@
 #include "core/skyline_dc.hpp"
 #include "core/skyline_reference.hpp"
 #include "geometry/angle.hpp"
+#include "geometry/simd.hpp"
 #include "net/dynamic_disk_graph.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
@@ -108,6 +117,28 @@ Measurement measure(double budget_ns, F&& fn) {
       static_cast<double>(total_allocs) / static_cast<double>(total_reps);
   m.reps = total_reps;
   return m;
+}
+
+// --- Provenance -------------------------------------------------------------
+
+/// Compiler identification, from predefined macros (no subprocesses).
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Effective optimization flags, captured by the build system.
+std::string build_flags() {
+#if defined(MLDCS_BENCH_BUILD_TYPE)
+  return std::string(MLDCS_BENCH_BUILD_TYPE) + ": " + MLDCS_BENCH_BUILD_FLAGS;
+#else
+  return "unknown";
+#endif
 }
 
 // --- Scenario: narrow-band hard regime -------------------------------------
@@ -183,7 +214,8 @@ struct JsonWriter {
 /// --section, --list-sections, and tools/check_bench.py.
 constexpr const char* kSections[] = {
     "single_relay_skyline", "batch_all_relays", "graph_build",
-    "batch_all_relays_threads", "mobility_steady_state"};
+    "batch_all_relays_threads", "mobility_steady_state",
+    "single_relay_skyline_simd"};
 
 bool known_section(const std::string& name) {
   for (const char* s : kSections) {
@@ -261,6 +293,17 @@ int main(int argc, char** argv) {
   j.field("schema", std::string("mldcs-perf-v1"));
   j.field("mode", std::string(quick ? "quick" : "full"));
   j.field("threads", static_cast<std::uint64_t>(pool.size()));
+  j.open_obj("provenance");
+  j.field("compiler", compiler_id());
+  j.field("build_flags", build_flags());
+  j.field("simd_compiled",
+          std::string(geom::simd::simd_compiled() ? "yes" : "no"));
+  j.field("detected_isa", std::string(geom::simd::detected_isa()));
+  j.field("dispatch", std::string(geom::simd::dispatch_choice()));
+  j.close_obj();
+  std::cout << "  provenance: " << compiler_id() << "; simd dispatch "
+            << geom::simd::dispatch_choice() << " (detected "
+            << geom::simd::detected_isa() << ")\n";
 
   // --- 1. single-relay skyline, workspace vs recursive ---------------------
   if (run_section("single_relay_skyline")) {
@@ -313,6 +356,63 @@ int main(int argc, char** argv) {
     j.close_obj();
   }
   j.close_arr();
+  }
+
+  // --- 1b. single-relay skyline, dispatched kernels vs scalar pin ----------
+  // Same engine, same workload; only the kernel set differs.  On a host
+  // where dispatch lands on a wide ISA this reports the SIMD multiplier in
+  // isolation; when dispatch is already scalar (no wide kernels compiled,
+  // or MLDCS_SIMD=off) both runs measure the same code and the speedup
+  // sits at ~1.0 — check_bench.py gates on it either way to catch silent
+  // regressions to the fallback.
+  if (run_section("single_relay_skyline_simd")) {
+    const obs::TraceSpan section_span("bench.single_relay_skyline_simd");
+    j.open_arr("single_relay_skyline_simd");
+    for (const std::size_t n :
+         {std::size_t{64}, std::size_t{256}, std::size_t{1024}}) {
+      sim::Xoshiro256 rng(0xBADC0FFEEULL + n);
+      const std::vector<geom::Disk> disks = narrow_band_set(rng, n);
+      const geom::Vec2 o{0.0, 0.0};
+
+      core::SkylineWorkspace ws;
+      std::vector<core::Arc> arcs;
+      const Measurement m_active = measure(budget_ns, [&] {
+        core::compute_skyline_arcs(disks, o, ws, arcs);
+      });
+      Measurement m_scalar;
+      {
+        const geom::simd::ScopedKernelOverride pin(
+            geom::simd::scalar_kernels());
+        m_scalar = measure(budget_ns, [&] {
+          core::compute_skyline_arcs(disks, o, ws, arcs);
+        });
+      }
+
+      std::cout << "  skyline-simd n=" << n << ": "
+                << geom::simd::dispatch_choice() << " " << m_active.ns_per_op
+                << " ns/op, scalar " << m_scalar.ns_per_op << " ns/op => "
+                << m_scalar.ns_per_op / m_active.ns_per_op << "x\n";
+
+      j.open_obj();
+      j.field("n_disks", static_cast<std::uint64_t>(n));
+      j.field("dispatch", std::string(geom::simd::dispatch_choice()));
+      j.open_obj("active");
+      j.field("ns_per_op", m_active.ns_per_op);
+      j.field("ops_per_s", 1e9 / m_active.ns_per_op);
+      j.field("allocs_per_op", m_active.allocs_per_op);
+      j.field("reps", m_active.reps);
+      j.close_obj();
+      j.open_obj("scalar");
+      j.field("ns_per_op", m_scalar.ns_per_op);
+      j.field("ops_per_s", 1e9 / m_scalar.ns_per_op);
+      j.field("allocs_per_op", m_scalar.allocs_per_op);
+      j.field("reps", m_scalar.reps);
+      j.close_obj();
+      j.field("simd_vs_scalar_speedup",
+              m_scalar.ns_per_op / m_active.ns_per_op);
+      j.close_obj();
+    }
+    j.close_arr();
   }
 
   // --- 2. batched all-relay throughput -------------------------------------

@@ -1,6 +1,8 @@
 #include "broadcast/all_skylines.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "broadcast/relay_skyline.hpp"
 #include "core/skyline_dc.hpp"
@@ -46,7 +48,20 @@ MLDCS_HOT_PATH AllSkylines compute_all_skylines(const net::DiskGraph& g,
   // mldcs-analyze:allow(hot-no-alloc): one-shot sweep setup, O(threads)
   std::vector<ChunkOut> chunk_out(std::min(pool.size(), n));
 
-  pool.parallel_chunks(n, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+  // Per-relay skyline cost scales with the local disk set (the relay's
+  // 1-hop neighborhood), so chunk by degree instead of node count —
+  // otherwise a contiguous cluster of hubs lands in one chunk and the
+  // sweep waits on that worker.  +1 keeps isolated nodes visible to the
+  // boundary sweep (their per-call overhead is not zero).
+  // mldcs-analyze:allow(hot-no-alloc): one-shot sweep setup, O(nodes)
+  std::vector<std::uint32_t> weights(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    weights[u] =
+        static_cast<std::uint32_t>(g.degree(static_cast<net::NodeId>(u)) + 1);
+  }
+
+  pool.parallel_weighted_chunks(weights, [&](std::size_t c, std::size_t lo,
+                                             std::size_t hi) {
     ChunkOut& co = chunk_out[c];
     co.lo = lo;
     co.ws.reserve(64);

@@ -1,12 +1,17 @@
 #include "core/skyline_dc.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "core/invariants.hpp"
 #include "geometry/angle.hpp"
+#include "geometry/radial.hpp"
+#include "geometry/simd.hpp"
 #include "geometry/tolerance.hpp"
 #include "obs/telemetry.hpp"
 
@@ -33,14 +38,6 @@ SkylineTelemetry& skyline_telemetry() {
   return t;
 }
 
-/// Partial skyline `i` of the current level.
-std::span<const Arc> level_skyline(const std::vector<Arc>& arcs,
-                                   const std::vector<std::uint32_t>& bounds,
-                                   std::size_t i) {
-  return {arcs.data() + bounds[i],
-          static_cast<std::size_t>(bounds[i + 1] - bounds[i])};
-}
-
 /// Margin for the dominated-disk prefilter.  If dist(u_i, u_j) + r_i <=
 /// r_j - margin, every point of disk i's boundary lies >= margin inside
 /// disk j, so disk i trails disk j's radial envelope by >= margin at every
@@ -54,8 +51,47 @@ constexpr double kDominanceMargin = 1e-6;
 /// Cap on containment tests per disk.  The prefilter scans potential
 /// containers in radius-descending order; adversarial inputs (thousands of
 /// disks in a narrow radius band, nothing dominated) would otherwise turn
-/// it quadratic.  The cap only reduces pruning, never correctness.
-constexpr std::size_t kMaxDominanceChecks = 64;
+/// it quadratic.  The cap only reduces pruning, never correctness.  16 is
+/// enough to catch essentially all dominations in the paper's U[1,2]
+/// deployments (containers much larger than the candidate sort first)
+/// while keeping the worst-case scan on undominatable narrow-band inputs
+/// to two lane blocks.
+constexpr std::size_t kMaxDominanceChecks = 16;
+
+/// Stable LSD byte-radix over the u64 keys of (key, index) pairs, skipping
+/// bytes on which every key agrees — disks drawn from a narrow radius band
+/// differ only in low mantissa bytes, so typically half the passes
+/// survive.  Stability plus the index-ascending seed order makes
+/// equal-radius ties resolve index-ascending without widening the sort
+/// key.  Small inputs keep std::sort: the histograms only pay in bulk.
+void sort_order_keys(
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>& v,
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>& alt) {
+  const std::size_t n = v.size();
+  if (n < 128) {
+    std::sort(v.begin(), v.end());
+    return;
+  }
+  std::uint64_t all_or = 0;
+  std::uint64_t all_and = ~std::uint64_t{0};
+  for (const auto& [key, idx] : v) {
+    all_or |= key;
+    all_and &= key;
+  }
+  const std::uint64_t differ = all_or & ~all_and;
+  alt.resize(n);
+  auto* src = &v;
+  auto* dst = &alt;
+  for (int b = 0; b < 64; b += 8) {
+    if (((differ >> b) & 0xffu) == 0) continue;
+    std::uint32_t hist[257] = {};
+    for (const auto& [key, idx] : *src) ++hist[((key >> b) & 0xffu) + 1];
+    for (int d = 0; d < 256; ++d) hist[d + 1] += hist[d];
+    for (const auto& p : *src) (*dst)[hist[(p.first >> b) & 0xffu]++] = p;
+    std::swap(src, dst);
+  }
+  if (src != &v) v.swap(alt);
+}
 
 }  // namespace
 
@@ -63,23 +99,29 @@ MLDCS_ALLOC_OK void SkylineWorkspace::reserve(std::size_t n_disks) {
   // Lemma 8: any level's concatenated partial skylines total <= 2n arcs
   // (each partial skyline of k disks has <= 2k arcs); Merge's raw Step-2
   // output before coalescing stays within the same constant factor.
-  cur_.reserve(2 * n_disks + 8);
-  next_.reserve(2 * n_disks + 8);
-  bounds_cur_.reserve(n_disks + 1);
-  bounds_next_.reserve(n_disks + 1);
-  breaks_.reserve(2 * n_disks + 8);
+  lev_cur_.reserve(n_disks);
+  lev_next_.reserve(n_disks);
+  scratch_.reserve(n_disks);
+  soa_.reserve(n_disks);
+  filt_.reserve(n_disks);
+  zeros_.reserve(n_disks);
   order_.reserve(n_disks);
+  order_alt_.reserve(n_disks);
   live_.reserve(n_disks);
+  dom_.reserve(n_disks);
 }
 
 void SkylineWorkspace::clear() noexcept {
-  cur_ = {};
-  next_ = {};
-  bounds_cur_ = {};
-  bounds_next_ = {};
-  breaks_ = {};
+  lev_cur_ = {};
+  lev_next_ = {};
+  scratch_ = {};
+  soa_ = {};
+  filt_ = {};
+  zeros_ = {};
   order_ = {};
+  order_alt_ = {};
   live_ = {};
+  dom_ = {};
 }
 
 MLDCS_HOT_PATH MLDCS_NO_LOCK void compute_skyline_arcs(
@@ -90,87 +132,133 @@ MLDCS_HOT_PATH MLDCS_NO_LOCK void compute_skyline_arcs(
   if (n == 0) return;
   MLDCS_DCHECK_OK(check_local_disk_premise(disks, o));
 
+  const geom::simd::SkylineKernels& kernels = geom::simd::active_kernels();
+
   // Dominated-disk prefilter: a disk strictly inside another (by more than
   // kDominanceMargin) contributes no skyline arc, so it can skip the merge
   // levels entirely.  In the paper's heterogeneous deployments (radii
   // U[1,2], neighbors within min(r_u, r_v)) a large share of small disks
   // are swallowed by bigger neighbors, and each dropped disk saves O(log n)
   // Merge passes over its arcs.  Scanning containers largest-radius-first
-  // lets each disk stop at the first disk too small to contain it.
+  // lets each disk stop at the first disk too small to contain it; the
+  // accepted containers live in a sentinel-padded DiskSoA so the batch
+  // kernel tests a whole lane block per step with the verdict taken at the
+  // lowest-index lane — identical to the sequential scan, cap included.
+  // The scan order is an exact deterministic tie-break (radius descending,
+  // then index ascending), not a geometric predicate — a tolerance here
+  // would make the prefilter order (and thus the merge tree) input-noise
+  // dependent.  Packed as one lexicographic (u64, u32) key: positive
+  // finite doubles order by their bit patterns, so ~bits(radius) sorts
+  // radius-descending exactly, and the sort never touches the disk array.
   ws.order_.resize(n);
-  std::iota(ws.order_.begin(), ws.order_.end(), 0u);
-  std::sort(ws.order_.begin(), ws.order_.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              // Exact comparison on purpose: the sort is a deterministic
-              // tie-break, not a geometric predicate — a tolerance here
-              // would make the prefilter order (and thus the merge tree)
-              // input-noise dependent.
-              // mldcs-analyze:allow(tolerance-audit): deterministic sort key
-              if (disks[a].radius != disks[b].radius) {
-                return disks[a].radius > disks[b].radius;
-              }
-              return a < b;
-            });
-  ws.live_.clear();
-  for (const std::uint32_t idx : ws.order_) {
-    const geom::Disk& di = disks[idx];
-    bool dominated = false;
-    std::size_t checks = 0;
-    for (const std::uint32_t j : ws.live_) {  // radius-descending
-      const double gap = disks[j].radius - di.radius - kDominanceMargin;
-      if (gap <= 0.0) break;  // no remaining disk is big enough
-      if (geom::distance2(di.center, disks[j].center) <= gap * gap) {
-        dominated = true;
-        break;
-      }
-      if (++checks >= kMaxDominanceChecks) break;
-    }
-    if (!dominated) ws.live_.push_back(idx);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.order_[i] = {~std::bit_cast<std::uint64_t>(disks[i].radius),
+                    static_cast<std::uint32_t>(i)};
   }
-  // Restore original disk order so the merge tree (and thus the exact arc
-  // output) depends only on the input, not on the radius sort.
-  std::sort(ws.live_.begin(), ws.live_.end());
+  sort_order_keys(ws.order_, ws.order_alt_);
+  ws.filt_.assign_sentinels(n);
+  ws.dom_.assign(n, 0);
+  for (const auto& [key, idx] : ws.order_) {
+    const geom::Disk& di = disks[idx];
+    if (!kernels.prefilter_dominated(
+            di.center.x, di.center.y, di.radius, ws.filt_.cx.data(),
+            ws.filt_.cy.data(), ws.filt_.r.data(), ws.filt_.cx.size(),
+            kDominanceMargin, static_cast<int>(kMaxDominanceChecks))) {
+      ws.filt_.push(di.center.x, di.center.y, di.radius);
+    } else {
+      ws.dom_[idx] = 1;
+    }
+  }
+  // Collect survivors in original disk order so the merge tree (and thus
+  // the exact arc output) depends only on the input, not on the radius
+  // sort — a linear verdict scan, where re-sorting the survivor list
+  // would cost another n log n.
+  ws.live_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ws.dom_[i] == 0) ws.live_.push_back(static_cast<std::uint32_t>(i));
+  }
+  const std::size_t n_live = ws.live_.size();
+
+  // Live disks in structure-of-arrays form (live-local ids from here on),
+  // plus each disk's zero-transition cuts — nonempty only when the relay
+  // sits exactly on the disk's boundary, hoisted out of the merge levels
+  // so resolve-time span work never calls libm for them.
+  ws.soa_.assign_subset(disks, ws.live_);
+  ws.zeros_.assign(n_live);
+  for (std::size_t i = 0; i < n_live; ++i) {
+    const geom::Disk& d = disks[ws.live_[i]];
+    const double r = d.radius;
+    const double d2 = geom::distance2(d.center, o);
+    // |d - r| <= kTol implies |d^2 - r^2| <= kTol (2r + kTol); rule the
+    // common strictly-interior case out without a sqrt.
+    if (std::fabs(d2 - r * r) > geom::kTol * (2.0 * r + 1.0)) continue;
+    double zs[2];
+    const int nz = geom::radial_zero_transitions(d, o, zs);
+    ws.zeros_.count[i] = static_cast<std::uint8_t>(nz);
+    if (nz > 0) {
+      ws.zeros_.any = true;
+      const geom::Vec2 u0 = geom::unit_at(zs[0]);
+      ws.zeros_.ang0[i] = zs[0];
+      ws.zeros_.ux0[i] = u0.x;
+      ws.zeros_.uy0[i] = u0.y;
+    }
+    if (nz > 1) {
+      const geom::Vec2 u1 = geom::unit_at(zs[1]);
+      ws.zeros_.ang1[i] = zs[1];
+      ws.zeros_.ux1[i] = u1.x;
+      ws.zeros_.uy1[i] = u1.y;
+    }
+  }
 
   // Level 0: every surviving disk's boundary is one full-circle arc, split
-  // at the +x axis by convention (here: one arc [0, 2*pi]).
-  ws.cur_.clear();
-  ws.bounds_cur_.clear();
-  ws.bounds_cur_.push_back(0);
-  for (std::size_t i = 0; i < ws.live_.size(); ++i) {
-    ws.cur_.push_back(Arc{0.0, geom::kTwoPi, ws.live_[i]});
-    ws.bounds_cur_.push_back(static_cast<std::uint32_t>(i + 1));
-  }
+  // at the +x axis by convention (starts-only: start 0.0, unit (1, 0)),
+  // written as flat fills — skyline i is exactly arc i.
+  ws.lev_cur_.start.assign(n_live, 0.0);
+  ws.lev_cur_.ux.assign(n_live, 1.0);
+  ws.lev_cur_.uy.assign(n_live, 0.0);
+  ws.lev_cur_.disk.resize(n_live);
+  std::iota(ws.lev_cur_.disk.begin(), ws.lev_cur_.disk.end(), 0u);
+  ws.lev_cur_.bounds.resize(n_live + 1);
+  std::iota(ws.lev_cur_.bounds.begin(), ws.lev_cur_.bounds.end(), 0u);
 
   // Bottom-up passes: merge adjacent pairs until one skyline remains.  An
   // odd tail skyline is carried to the next level verbatim, so the merge
   // tree has the same O(log n) depth as the recursive halving and every
-  // disk goes through O(log n) Merges (Theorem 9's bound).
+  // disk goes through O(log n) Merges (Theorem 9's bound).  Each level is
+  // one call: the batched Merge accumulates geometry tasks across every
+  // pair of the level before handing them to the SIMD kernels, keeping
+  // lanes full even when individual partial skylines are short.
   std::uint64_t levels = 0;
-  std::size_t level_arcs_max = ws.cur_.size();
-  std::size_t count = ws.live_.size();
+  std::size_t level_arcs_max = ws.lev_cur_.start.size();
+  std::size_t count = n_live;
   while (count > 1) {
-    ws.next_.clear();
-    ws.bounds_next_.clear();
-    ws.bounds_next_.push_back(0);
-    for (std::size_t i = 0; i + 1 < count; i += 2) {
-      merge_skylines(level_skyline(ws.cur_, ws.bounds_cur_, i),
-                     level_skyline(ws.cur_, ws.bounds_cur_, i + 1), disks, o,
-                     ws.breaks_, ws.next_, stats);
-      ws.bounds_next_.push_back(static_cast<std::uint32_t>(ws.next_.size()));
-    }
+    detail::merge_level_batched(ws.lev_cur_, ws.lev_next_, ws.soa_, o,
+                                ws.zeros_, kernels, ws.scratch_, stats);
     if (count % 2 == 1) {
-      const auto tail = level_skyline(ws.cur_, ws.bounds_cur_, count - 1);
-      ws.next_.insert(ws.next_.end(), tail.begin(), tail.end());
-      ws.bounds_next_.push_back(static_cast<std::uint32_t>(ws.next_.size()));
+      const std::uint32_t t0 = ws.lev_cur_.bounds[count - 1];
+      const std::uint32_t t1 = ws.lev_cur_.bounds[count];
+      for (std::uint32_t k = t0; k < t1; ++k) {
+        ws.lev_next_.push(ws.lev_cur_.start[k], ws.lev_cur_.ux[k],
+                          ws.lev_cur_.uy[k], ws.lev_cur_.disk[k]);
+      }
+      ws.lev_next_.close_skyline();
     }
-    std::swap(ws.cur_, ws.next_);
-    std::swap(ws.bounds_cur_, ws.bounds_next_);
-    count = ws.bounds_cur_.size() - 1;
+    std::swap(ws.lev_cur_, ws.lev_next_);
+    count = ws.lev_cur_.skylines();
     ++levels;
-    level_arcs_max = std::max(level_arcs_max, ws.cur_.size());
+    level_arcs_max = std::max(level_arcs_max, ws.lev_cur_.start.size());
   }
 
-  out.insert(out.end(), ws.cur_.begin(), ws.cur_.end());
+  // Starts-only to Arc conversion: endpoints are shared doubles by
+  // construction, and live-local disk ids map back to input positions.
+  const std::size_t n_arcs = ws.lev_cur_.start.size();
+  for (std::size_t k = 0; k < n_arcs; ++k) {
+    const double end =
+        (k + 1 < n_arcs) ? ws.lev_cur_.start[k + 1] : geom::kTwoPi;
+    out.push_back(Arc{ws.lev_cur_.start[k], end,
+                      static_cast<std::size_t>(
+                          ws.live_[ws.lev_cur_.disk[k]])});
+  }
 
   SkylineTelemetry& t = skyline_telemetry();
   t.calls.add();

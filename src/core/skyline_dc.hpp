@@ -18,21 +18,25 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/annotations.hpp"
 #include "core/merge.hpp"
 #include "core/skyline.hpp"
 #include "geometry/disk.hpp"
+#include "geometry/disk_soa.hpp"
 #include "geometry/vec2.hpp"
 
 namespace mldcs::core {
 
-/// Reusable scratch for the iterative skyline engine: two ping-pong arc
-/// buffers (each holding a whole level of partial skylines, delimited by a
-/// bounds array) plus the Merge breakpoint scratch.  One workspace serves
-/// any number of sequential compute_skyline calls of any size; it is not
-/// thread-safe — use one per thread (see bcast::compute_all_skylines).
+/// Reusable scratch for the iterative skyline engine: two ping-pong
+/// starts-only level buffers (each holding a whole level of partial
+/// skylines, delimited by a bounds array), the structure-of-arrays disk
+/// storage feeding the geom::simd batch kernels, and the level-wide Merge
+/// task arrays.  One workspace serves any number of sequential
+/// compute_skyline calls of any size; it is not thread-safe — use one per
+/// thread (see bcast::compute_all_skylines).
 class SkylineWorkspace {
  public:
   SkylineWorkspace() = default;
@@ -56,13 +60,19 @@ class SkylineWorkspace {
                                    SkylineWorkspace&, std::vector<Arc>&,
                                    MergeStats*);
 
-  std::vector<Arc> cur_;                  ///< level k partial skylines
-  std::vector<Arc> next_;                 ///< level k+1 under construction
-  std::vector<std::uint32_t> bounds_cur_; ///< cur_ skyline i = [b[i], b[i+1])
-  std::vector<std::uint32_t> bounds_next_;
-  std::vector<double> breaks_;            ///< Merge breakpoint scratch
-  std::vector<std::uint32_t> order_;      ///< prefilter: radius-sorted indices
-  std::vector<std::uint32_t> live_;       ///< prefilter: surviving indices
+  detail::LevelSoA lev_cur_;          ///< level k partial skylines
+  detail::LevelSoA lev_next_;         ///< level k+1 under construction
+  detail::MergeLevelScratch scratch_; ///< batched Merge task arrays
+  geom::DiskSoA soa_;                 ///< live disks, live-local order
+  geom::DiskSoA filt_;                ///< prefilter containers, radius-desc
+  detail::ZeroCutTable zeros_;        ///< per-live-disk boundary-relay cuts
+  /// Prefilter scan order: (~radius-bits, index) keys whose ascending sort
+  /// is exactly radius-descending then index-ascending.  `order_alt_` is
+  /// the ping-pong buffer of the byte-wise radix sort (skyline_dc.cpp).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order_alt_;
+  std::vector<std::uint32_t> live_;   ///< prefilter: surviving indices
+  std::vector<std::uint8_t> dom_;     ///< prefilter: dominated verdicts
 };
 
 /// Compute the skyline of a local disk set around relay `o` with the

@@ -1,0 +1,67 @@
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "geometry/simd.hpp"
+#include "geometry/simd_kernels_impl.hpp"
+
+// 4 x double AVX2 policy.  This TU is compiled with -mavx2
+// -ffp-contract=off; the dispatcher only hands out this table after
+// __builtin_cpu_supports("avx2") confirms the instructions exist.  Only
+// non-FMA intrinsics appear here (vaddpd/vsubpd/vmulpd/vdivpd/vsqrtpd are
+// correctly-rounded IEEE ops, bit-identical to their scalar forms), so the
+// byte-identity contract with the scalar policy holds by construction.
+
+namespace mldcs::geom::simd {
+
+namespace {
+
+struct Avx2Policy {
+  static constexpr std::size_t kWidth = 4;
+  using V = __m256d;
+  using M = __m256d;  // all-ones / all-zeros lanes from vcmppd
+
+  static V load(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void store(double* p, V v) noexcept { _mm256_storeu_pd(p, v); }
+  static V broadcast(double x) noexcept { return _mm256_set1_pd(x); }
+  static V add(V a, V b) noexcept { return _mm256_add_pd(a, b); }
+  static V sub(V a, V b) noexcept { return _mm256_sub_pd(a, b); }
+  static V mul(V a, V b) noexcept { return _mm256_mul_pd(a, b); }
+  static V div(V a, V b) noexcept { return _mm256_div_pd(a, b); }
+  static V sqrt(V a) noexcept { return _mm256_sqrt_pd(a); }
+  static V abs(V a) noexcept {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+  static V neg(V a) noexcept {
+    return _mm256_xor_pd(_mm256_set1_pd(-0.0), a);
+  }
+  static M le(V a, V b) noexcept {
+    return _mm256_cmp_pd(a, b, _CMP_LE_OQ);
+  }
+  static M lt(V a, V b) noexcept {
+    return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+  }
+  static M m_and(M a, M b) noexcept { return _mm256_and_pd(a, b); }
+  static M m_or(M a, M b) noexcept { return _mm256_or_pd(a, b); }
+  static M m_andnot(M a, M b) noexcept { return _mm256_andnot_pd(a, b); }
+  static V select(M m, V a, V b) noexcept {
+    return _mm256_blendv_pd(b, a, m);
+  }
+  static unsigned to_bits(M m) noexcept {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+};
+
+}  // namespace
+
+const SkylineKernels& avx2_kernels() noexcept {
+  static constexpr SkylineKernels kTable =
+      detail::make_kernels<Avx2Policy>("avx2");
+  return kTable;
+}
+
+}  // namespace mldcs::geom::simd
+
+#endif  // x86-64

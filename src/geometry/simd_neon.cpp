@@ -1,0 +1,56 @@
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+
+#include "geometry/simd.hpp"
+#include "geometry/simd_kernels_impl.hpp"
+
+// 2 x double NEON policy (AArch64 — float64x2_t and vdivq/vsqrtq are
+// baseline there, so no runtime feature test is needed).  Compiled with
+// -ffp-contract=off like the other kernel TUs; only non-fusing intrinsics
+// appear here, preserving byte-identity with the scalar policy.
+
+namespace mldcs::geom::simd {
+
+namespace {
+
+struct NeonPolicy {
+  static constexpr std::size_t kWidth = 2;
+  using V = float64x2_t;
+  using M = uint64x2_t;  // all-ones / all-zeros lanes from vc*q_f64
+
+  static V load(const double* p) noexcept { return vld1q_f64(p); }
+  static void store(double* p, V v) noexcept { vst1q_f64(p, v); }
+  static V broadcast(double x) noexcept { return vdupq_n_f64(x); }
+  static V add(V a, V b) noexcept { return vaddq_f64(a, b); }
+  static V sub(V a, V b) noexcept { return vsubq_f64(a, b); }
+  static V mul(V a, V b) noexcept { return vmulq_f64(a, b); }
+  static V div(V a, V b) noexcept { return vdivq_f64(a, b); }
+  static V sqrt(V a) noexcept { return vsqrtq_f64(a); }
+  static V abs(V a) noexcept { return vabsq_f64(a); }
+  static V neg(V a) noexcept { return vnegq_f64(a); }
+  static M le(V a, V b) noexcept { return vcleq_f64(a, b); }
+  static M lt(V a, V b) noexcept { return vcltq_f64(a, b); }
+  static M m_and(M a, M b) noexcept { return vandq_u64(a, b); }
+  static M m_or(M a, M b) noexcept { return vorrq_u64(a, b); }
+  static M m_andnot(M a, M b) noexcept { return vbicq_u64(b, a); }
+  static V select(M m, V a, V b) noexcept { return vbslq_f64(m, a, b); }
+  static unsigned to_bits(M m) noexcept {
+    return static_cast<unsigned>(vgetq_lane_u64(m, 0) & 1u) |
+           (static_cast<unsigned>(vgetq_lane_u64(m, 1) & 1u) << 1);
+  }
+};
+
+}  // namespace
+
+const SkylineKernels& neon_kernels() noexcept {
+  static constexpr SkylineKernels kTable =
+      detail::make_kernels<NeonPolicy>("neon");
+  return kTable;
+}
+
+}  // namespace mldcs::geom::simd
+
+#endif  // __aarch64__

@@ -1,0 +1,50 @@
+#include <cmath>
+#include <cstddef>
+
+#include "geometry/simd.hpp"
+#include "geometry/simd_kernels_impl.hpp"
+
+// The width-1 reference policy: every kernel op maps to one C++ double
+// operation.  This TU is compiled with -ffp-contract=off (geometry
+// CMakeLists) so the compiler cannot fuse any mul+add into an FMA — the
+// wide policies never fuse (their intrinsics map to non-FMA instructions),
+// and byte-identity between dispatch choices depends on neither side
+// fusing.
+
+namespace mldcs::geom::simd {
+
+namespace {
+
+struct ScalarPolicy {
+  static constexpr std::size_t kWidth = 1;
+  using V = double;
+  using M = bool;
+
+  static V load(const double* p) noexcept { return *p; }
+  static void store(double* p, V v) noexcept { *p = v; }
+  static V broadcast(double x) noexcept { return x; }
+  static V add(V a, V b) noexcept { return a + b; }
+  static V sub(V a, V b) noexcept { return a - b; }
+  static V mul(V a, V b) noexcept { return a * b; }
+  static V div(V a, V b) noexcept { return a / b; }
+  static V sqrt(V a) noexcept { return std::sqrt(a); }
+  static V abs(V a) noexcept { return std::fabs(a); }
+  static V neg(V a) noexcept { return -a; }
+  static M le(V a, V b) noexcept { return a <= b; }
+  static M lt(V a, V b) noexcept { return a < b; }
+  static M m_and(M a, M b) noexcept { return a && b; }
+  static M m_or(M a, M b) noexcept { return a || b; }
+  static M m_andnot(M a, M b) noexcept { return !a && b; }
+  static V select(M m, V a, V b) noexcept { return m ? a : b; }
+  static unsigned to_bits(M m) noexcept { return m ? 1u : 0u; }
+};
+
+}  // namespace
+
+const SkylineKernels& scalar_kernels() noexcept {
+  static constexpr SkylineKernels kTable =
+      detail::make_kernels<ScalarPolicy>("scalar");
+  return kTable;
+}
+
+}  // namespace mldcs::geom::simd

@@ -29,10 +29,12 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -110,6 +112,71 @@ class ThreadPool {
         {
           // Notify under the lock: once `remaining` hits 0 the caller may
           // destroy the latch, so the notify must not happen after release.
+          const std::lock_guard<std::mutex> lock(latch.m);
+          if (--latch.remaining == 0) latch.cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(latch.m);
+    latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+    if (latch.error) std::rethrow_exception(latch.error);
+  }
+
+  /// Weighted chunk-level form: like parallel_chunks over
+  /// [0, weights.size()), but chunk boundaries follow the cumulative
+  /// `weights` — chunk t ends where the running weight sum first reaches
+  /// (t+1)/T of the total — so contiguous ranges carry roughly equal
+  /// *work* instead of equal index counts.  With per-node degrees as
+  /// weights, a sweep whose per-node cost scales with degree no longer
+  /// leaves most workers idle behind one chunk of hubs.  Chunk indices
+  /// stay dense in [0, chunks) (empty ranges are never dispatched), and
+  /// boundaries are deterministic in (weights, size()) — thread
+  /// scheduling cannot move work between chunks.  Zero weights are
+  /// allowed; a zero-total input degrades to one chunk of everything.
+  template <typename F>
+  MLDCS_ALLOC_OK void parallel_weighted_chunks(
+      std::span<const std::uint32_t> weights, F&& body) {
+    const std::size_t n = weights.size();
+    if (n == 0) return;
+    const std::size_t nthreads = std::min(workers_, n);
+    std::uint64_t total = 0;
+    for (const std::uint32_t w : weights) total += w;
+    if (nthreads <= 1 || total == 0) {
+      body(std::size_t{0}, std::size_t{0}, n);
+      return;
+    }
+    // Boundary sweep: O(n + T), one pass, no per-index dispatch.
+    // mldcs-analyze:allow(hot-no-alloc): O(threads) sweep setup
+    std::vector<std::size_t> bounds;
+    bounds.reserve(nthreads + 1);
+    bounds.push_back(0);
+    std::uint64_t cum = 0;
+    std::size_t i = 0;
+    for (std::size_t t = 0; t + 1 < nthreads; ++t) {
+      const std::uint64_t target =
+          (static_cast<std::uint64_t>(t) + 1) * total / nthreads;
+      while (i < n && cum < target) cum += weights[i++];
+      if (i > bounds.back()) bounds.push_back(i);
+    }
+    if (n > bounds.back()) bounds.push_back(n);
+    const std::size_t chunks = bounds.size() - 1;
+    if (chunks <= 1) {
+      body(std::size_t{0}, std::size_t{0}, n);
+      return;
+    }
+    ChunkLatch latch;
+    latch.remaining = chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = bounds[c];
+      const std::size_t hi = bounds[c + 1];
+      submit([&latch, &body, c, lo, hi] {
+        try {
+          body(c, lo, hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(latch.m);
+          if (!latch.error) latch.error = std::current_exception();
+        }
+        {
           const std::lock_guard<std::mutex> lock(latch.m);
           if (--latch.remaining == 0) latch.cv.notify_all();
         }

@@ -1,0 +1,225 @@
+// Differential tests for the SIMD skyline kernels (geometry/simd.hpp):
+// the workspace engine under runtime dispatch must produce *byte-equal*
+// arcs to the same engine pinned to the scalar reference kernels, across
+// a corpus built from the degenerate regimes the kernels special-case —
+// coincident centers, dominating disks, sub-kAngleTol breakpoint
+// clusters, tangencies, and batch sizes that exercise lane remainders
+// (n < lane width and n % lane width != 0; kernels see padded batches
+// either way, but the *task counts* land on every remainder).
+//
+// tests/CMakeLists.txt registers this binary twice: once as-is (runtime
+// dispatch picks the widest compiled-in ISA the CPU supports) and once
+// with MLDCS_SIMD=off in the environment (suffix ".simd_off"), which
+// forces the fallback before the first dispatch decision — proving the
+// override works and that the corpus passes on the scalar path alone.
+
+#include "geometry/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/skyline_dc.hpp"
+#include "geometry/angle.hpp"
+#include "geometry/disk.hpp"
+#include "sim/rng.hpp"
+
+namespace mldcs::core {
+namespace {
+
+namespace simd = geom::simd;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Run the engine under runtime dispatch and pinned to the scalar
+/// reference, and require bitwise-equal arc output (bit patterns, not
+/// double equality: -0.0 vs 0.0 or a 1-ulp drift must fail).
+void expect_bit_identical(const std::vector<geom::Disk>& disks,
+                          geom::Vec2 o, const std::string& label) {
+  SkylineWorkspace ws;
+  std::vector<Arc> active;
+  std::vector<Arc> scalar;
+  compute_skyline_arcs(disks, o, ws, active);
+  {
+    const simd::ScopedKernelOverride pin(simd::scalar_kernels());
+    compute_skyline_arcs(disks, o, ws, scalar);
+  }
+  ASSERT_EQ(active.size(), scalar.size()) << label;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    EXPECT_EQ(bits(active[i].start), bits(scalar[i].start))
+        << label << ": arc " << i << " start";
+    EXPECT_EQ(bits(active[i].end), bits(scalar[i].end))
+        << label << ": arc " << i << " end";
+    EXPECT_EQ(active[i].disk, scalar[i].disk)
+        << label << ": arc " << i << " disk";
+  }
+}
+
+/// The bench's hard regime: nearly equal radii, neighbors at 97% of the
+/// maximum bidirectional distance — almost every disk survives.
+std::vector<geom::Disk> narrow_band(sim::Xoshiro256& rng, std::size_t n) {
+  std::vector<geom::Disk> disks;
+  disks.reserve(n);
+  const double r0 = 1.01;
+  disks.push_back({{0.0, 0.0}, r0});
+  for (std::size_t i = 1; i < n; ++i) {
+    const double radius = rng.uniform(1.0, 1.02);
+    const double dist = 0.97 * std::min(r0, radius);
+    const double theta = rng.uniform(0.0, geom::kTwoPi);
+    disks.push_back({{dist * std::cos(theta), dist * std::sin(theta)}, radius});
+  }
+  return disks;
+}
+
+TEST(SkylineSimdTest, CoincidentCentersAndExactDuplicates) {
+  sim::Xoshiro256 rng(0xC01DC01DULL);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<geom::Disk> disks = narrow_band(rng, 12);
+    // A stack of concentric disks at a random member's center, plus an
+    // exact duplicate of another member: the prefilter and the merge
+    // tie-breaks must resolve both identically on every kernel set.
+    // Every stacked radius stays >= the center's distance to the relay,
+    // keeping the local-disk-set premise (o inside every disk) intact.
+    const geom::Disk base = disks[1 + static_cast<std::size_t>(
+                                          rng.uniform(0.0, 10.0))];
+    const geom::Vec2 c = base.center;
+    const double d = std::sqrt(c.x * c.x + c.y * c.y);
+    disks.push_back({c, d + (base.radius - d) * 0.25});
+    disks.push_back({c, base.radius * 0.999});
+    disks.push_back({c, base.radius});  // coincident *and* equal radius
+    disks.push_back(disks[3]);          // exact duplicate
+    expect_bit_identical(disks, {0.0, 0.0},
+                         "coincident rep " + std::to_string(rep));
+  }
+}
+
+TEST(SkylineSimdTest, DominatingDiskCollapsesEitherWay) {
+  sim::Xoshiro256 rng(0xD0111ACEULL);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<geom::Disk> disks = narrow_band(rng, 24);
+    // One disk strictly containing every other: the skyline collapses
+    // to a single full-circle arc through the dominance prefilter.
+    disks.push_back({{0.01, -0.02}, 5.0});
+    expect_bit_identical(disks, {0.0, 0.0},
+                         "dominating rep " + std::to_string(rep));
+  }
+}
+
+TEST(SkylineSimdTest, SubAngleTolBreakpointClusters) {
+  sim::Xoshiro256 rng(0x70CC1U);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<geom::Disk> disks = narrow_band(rng, 10);
+    // Shadow three disks with copies rotated about the origin by half
+    // of kAngleTol: every breakpoint of the original reappears within
+    // tolerance, forcing the equal-angle and equal-radius tie-break
+    // paths in Merge's cut handling.
+    const double eps = 0.5 * geom::kAngleTol;
+    const double c = std::cos(eps);
+    const double s = std::sin(eps);
+    for (std::size_t i = 1; i <= 3; ++i) {
+      const geom::Vec2 p = disks[i].center;
+      disks.push_back(
+          {{c * p.x - s * p.y, s * p.x + c * p.y}, disks[i].radius});
+    }
+    expect_bit_identical(disks, {0.0, 0.0},
+                         "sub-tol rep " + std::to_string(rep));
+  }
+}
+
+TEST(SkylineSimdTest, TangentAndContainedPairs) {
+  sim::Xoshiro256 rng(0x7A46E47ULL);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<geom::Disk> disks = narrow_band(rng, 8);
+    // Internal tangencies (dist == |r_a - r_b|, from either side) and a
+    // strict containment: the h^2 <= 0 clamp must pick the same
+    // tangent-point verdict on every kernel set.  (External tangency
+    // cannot occur in a local disk set — every disk contains o, so all
+    // pairs overlap.)
+    disks.push_back({{0.3, 0.0}, 1.31});   // contains disk 0, tangent
+    disks.push_back({{0.5, 0.0}, 0.51});   // inside disk 0, tangent
+    disks.push_back({{0.1, 0.1}, 0.25});   // strictly contained
+    expect_bit_identical(disks, {0.0, 0.0},
+                         "tangent rep " + std::to_string(rep));
+  }
+}
+
+TEST(SkylineSimdTest, LaneRemainderSizes) {
+  // Below any lane width, exactly at it, and off every multiple: the
+  // batches the engine builds from these sets land on every n % W.
+  sim::Xoshiro256 rng(0x5123E5ULL);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{7},
+                              std::size_t{9}, std::size_t{13},
+                              std::size_t{17}, std::size_t{31}}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      expect_bit_identical(narrow_band(rng, n), {0.0, 0.0},
+                           "n=" + std::to_string(n) + " rep " +
+                               std::to_string(rep));
+    }
+  }
+}
+
+TEST(SkylineSimdTest, RandomizedDegenerateFuzz) {
+  // Mixed fuzz: a random base set with a random sprinkle of every
+  // degeneracy above, off-origin evaluation points included.
+  sim::Xoshiro256 rng(0xF0220FULL);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t n = 3 + static_cast<std::size_t>(
+                                  rng.uniform(0.0, 40.0));
+    std::vector<geom::Disk> disks = narrow_band(rng, n);
+    if (rng.uniform() < 0.5) {  // coincident-center stack
+      const geom::Disk base = disks[static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(n)))];
+      const geom::Vec2 c = base.center;
+      // Radius in [|c - o|, base.radius]: coincident centers without
+      // breaking the local-disk-set premise.
+      const double d = std::sqrt(c.x * c.x + c.y * c.y);
+      disks.push_back(
+          {c, d + (base.radius - d) * rng.uniform(0.0, 1.0)});
+    }
+    if (rng.uniform() < 0.3) {  // exact duplicate
+      disks.push_back(disks[static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(n)))]);
+    }
+    if (rng.uniform() < 0.3) {  // dominator
+      disks.push_back({{rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1)},
+                       4.0 + rng.uniform(0.0, 2.0)});
+    }
+    if (rng.uniform() < 0.5) {  // sub-tolerance rotated shadow
+      const double eps = geom::kAngleTol * rng.uniform(0.01, 0.99);
+      const geom::Vec2 p = disks[1].center;
+      disks.push_back({{std::cos(eps) * p.x - std::sin(eps) * p.y,
+                        std::sin(eps) * p.x + std::cos(eps) * p.y},
+                       disks[1].radius});
+    }
+    expect_bit_identical(disks, {0.0, 0.0},
+                         "fuzz rep " + std::to_string(rep));
+  }
+}
+
+TEST(SkylineSimdTest, DispatchRespectsEnvironmentOverride) {
+  const char* env = std::getenv("MLDCS_SIMD");
+  const bool forced_off =
+      env != nullptr && (std::strcmp(env, "off") == 0 ||
+                         std::strcmp(env, "scalar") == 0);
+  if (forced_off) {
+    // The .simd_off registration: the override must win over the CPU.
+    EXPECT_STREQ(simd::dispatch_choice(), "scalar");
+    EXPECT_EQ(&simd::active_kernels(), &simd::scalar_kernels());
+  } else if (simd::simd_compiled() &&
+             std::strcmp(simd::detected_isa(), "none") != 0) {
+    // Wide kernels compiled in and supported: dispatch must take them.
+    EXPECT_STREQ(simd::dispatch_choice(), simd::detected_isa());
+  } else {
+    EXPECT_STREQ(simd::dispatch_choice(), "scalar");
+  }
+}
+
+}  // namespace
+}  // namespace mldcs::core

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -41,6 +45,72 @@ TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
   std::vector<std::atomic<int>> visits(3);
   pool.parallel_for(3, [&](std::size_t i) { ++visits[i]; });
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, WeightedChunksCoverEveryIndexOnce) {
+  ThreadPool pool(4);
+  // Skewed weights: one hub dwarfs everything else.
+  std::vector<std::uint32_t> weights(100, 1);
+  weights[7] = 1000;
+  std::vector<int> visits(weights.size(), 0);
+  std::mutex m;
+  pool.parallel_weighted_chunks(
+      weights, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        const std::lock_guard<std::mutex> lock(m);
+        for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+      });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, WeightedChunksBalanceSkewedWeights) {
+  ThreadPool pool(4);
+  // Ascending quadratic weights: equal-count chunking would give the last
+  // chunk ~58% of the total; weighted chunking must stay near 25% each.
+  std::vector<std::uint32_t> weights(1000);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<std::uint32_t>(i * i / 1000 + 1);
+  }
+  std::uint64_t total = 0;
+  for (const std::uint32_t w : weights) total += w;
+  std::vector<std::uint64_t> chunk_weight(4, 0);
+  std::size_t max_chunk = 0;
+  std::mutex m;
+  pool.parallel_weighted_chunks(
+      weights, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        const std::lock_guard<std::mutex> lock(m);
+        max_chunk = std::max(max_chunk, c);
+        for (std::size_t i = lo; i < hi; ++i) chunk_weight[c] += weights[i];
+      });
+  ASSERT_LE(max_chunk, 3u);
+  for (std::size_t c = 0; c <= max_chunk; ++c) {
+    // Each chunk within (25 +- 10)% of the total: one index can overshoot
+    // a boundary by at most the largest single weight (~0.1% here).
+    EXPECT_GT(chunk_weight[c], total / 7);
+    EXPECT_LT(chunk_weight[c], total / 2);
+  }
+}
+
+TEST(ThreadPoolTest, WeightedChunksZeroTotalRunsOneChunk) {
+  ThreadPool pool(4);
+  const std::vector<std::uint32_t> weights(10, 0);
+  std::vector<int> visits(weights.size(), 0);
+  std::atomic<int> chunks{0};
+  pool.parallel_weighted_chunks(
+      weights, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        ++chunks;
+        for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+      });
+  EXPECT_EQ(chunks.load(), 1);
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, WeightedChunksEmptyInputIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_weighted_chunks(
+      std::span<const std::uint32_t>{},
+      [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
 }
 
 TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {

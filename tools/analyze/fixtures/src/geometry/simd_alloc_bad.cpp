@@ -1,0 +1,28 @@
+// Seeded hot-no-alloc violations in SIMD-kernel shape: a batch geometry
+// kernel on the skyline hot path that allocates its lane staging per
+// call instead of reusing workspace buffers — directly, and transitively
+// through a padding helper.  mldcs-analyze must flag both; the real
+// kernels (src/geometry/simd_kernels_impl.hpp) write straight into
+// caller-owned SoA arrays and never reach an allocation.
+#include <cstddef>
+#include <vector>
+
+#define MLDCS_HOT_PATH
+#define MLDCS_ALLOC_OK
+
+namespace fixture {
+
+double* pad_batch_to_lane_width(std::size_t n) {
+  return new double[((n + 7) / 8) * 8];  // transitive new-expression
+}
+
+MLDCS_HOT_PATH void circle_isect_batch(std::size_t n, const double* ax,
+                                       double* out) {
+  std::vector<double> lanes(n);  // per-call staging buffer
+  for (std::size_t i = 0; i < n; ++i) lanes[i] = ax[i] * ax[i];
+  double* padded = pad_batch_to_lane_width(n);  // edge into the helper
+  for (std::size_t i = 0; i < n; ++i) out[i] = lanes[i] + padded[0];
+  delete[] padded;
+}
+
+}  // namespace fixture

@@ -13,11 +13,24 @@ of the single_relay_skyline section (matched by n_disks):
     workspace engine is allocation-free by design; even 1 alloc/op means
     the scratch-reuse contract broke)
 
+  * SIMD dispatch regression, from the single_relay_skyline_simd
+    section of the fresh run alone: when the provenance says wide
+    kernels are compiled in and the CPU supports them, dispatch must
+    not land on the scalar fallback, and the measured simd-vs-scalar
+    speedup must stay >= 1.0 (the wide path must never be slower than
+    the pinned scalar reference it is bit-identical to).
+
 A missing or renamed section/field (e.g. a fresh run produced with
 `perf_suite --section ...`, or an older baseline from before a schema
 addition) is a named WARNING, not a failure: the comparison that cannot
-be made is skipped and the exit status stays 0.  Only measured
+be made is skipped and the exit status stays 0.  A section present in
+the fresh run but absent from the baseline (a schema addition mid-
+transition) is informational, not even a warning.  Only measured
 regressions exit 1.
+
+Both documents' `provenance` headers (compiler, build flags, detected
+ISA, dispatch choice) are diffed and printed so any delta is
+attributable; provenance changes never gate by themselves.
 
 --history FILE.jsonl additionally appends the fresh run's per-section
 summary (obslib.bench_summary) as one JSON line and prints deltas
@@ -39,6 +52,10 @@ import sys
 import obslib
 
 MAX_SLOWDOWN = 3.0
+MIN_SIMD_SPEEDUP = 1.0
+
+#: Top-level keys of an mldcs-perf-v1 document that are not sections.
+ENVELOPE_KEYS = frozenset({"schema", "mode", "threads", "provenance"})
 
 
 def warn(msg):
@@ -87,6 +104,97 @@ def by_n_disks(doc, path):
     return out
 
 
+def report_section_inventory(baseline_doc, fresh_doc):
+    """Name the section-set differences between the two documents.
+
+    Sections only the fresh run has are schema additions still waiting
+    for a regenerated baseline — informational.  Sections only the
+    baseline has may be a trimmed/sectioned fresh run — a warning, like
+    every other comparison this tool cannot make.
+    """
+    base = set(baseline_doc) - ENVELOPE_KEYS
+    fresh = set(fresh_doc) - ENVELOPE_KEYS
+    for name in sorted(fresh - base):
+        print(f"  section '{name}': new in this run, no baseline yet "
+              "(informational)")
+    for name in sorted(base - fresh):
+        warn(f"section '{name}' is in the baseline but absent from the "
+             "fresh run")
+
+
+def report_provenance_diff(baseline_doc, fresh_doc):
+    """Print the provenance delta between baseline and fresh."""
+    base = baseline_doc.get("provenance")
+    fresh = fresh_doc.get("provenance")
+    if not isinstance(fresh, dict):
+        warn("fresh run has no provenance header (older perf_suite?)")
+        return
+    if not isinstance(base, dict):
+        summary = ", ".join(f"{k}={fresh[k]}" for k in sorted(fresh))
+        print(f"  provenance: {summary} (baseline has no provenance "
+              "header)")
+        return
+    changed = [k for k in sorted(set(base) | set(fresh))
+               if base.get(k) != fresh.get(k)]
+    if not changed:
+        print("  provenance: unchanged "
+              f"(dispatch {fresh.get('dispatch', '?')}, "
+              f"{fresh.get('compiler', '?')})")
+        return
+    for key in changed:
+        print(f"  provenance: {key}: {base.get(key)!r} -> "
+              f"{fresh.get(key)!r}")
+
+
+def check_simd_dispatch(doc, path):
+    """Gate the fresh run's single_relay_skyline_simd section.
+
+    Returns a list of failure strings.  Two failure modes: dispatch fell
+    back to scalar although wide kernels are compiled in and the CPU
+    supports them, or the wide path measured slower than the pinned
+    scalar reference (speedup < MIN_SIMD_SPEEDUP).  A host that has no
+    wide kernels to run (not compiled, or not supported) legitimately
+    reports scalar dispatch and is not gated.
+    """
+    failures = []
+    entries = doc.get("single_relay_skyline_simd")
+    if not isinstance(entries, list) or not entries:
+        warn(f"{path}: section 'single_relay_skyline_simd' missing or "
+             "empty; skipping SIMD dispatch gate")
+        return failures
+    prov = doc.get("provenance")
+    prov = prov if isinstance(prov, dict) else {}
+    wide_available = (prov.get("simd_compiled") == "yes"
+                      and prov.get("detected_isa") not in (None, "none"))
+    for i, e in enumerate(entries):
+        if (not isinstance(e, dict) or "n_disks" not in e
+                or "simd_vs_scalar_speedup" not in e):
+            warn(f"{path}: single_relay_skyline_simd[{i}] is missing "
+                 "n_disks/simd_vs_scalar_speedup; skipping this entry")
+            continue
+        n = e["n_disks"]
+        speedup = e["simd_vs_scalar_speedup"]
+        dispatch = e.get("dispatch", "?")
+        status = "ok"
+        if dispatch == "scalar":
+            if wide_available:
+                failures.append(
+                    f"n_disks={n}: dispatch fell back to scalar although "
+                    f"{prov.get('detected_isa')} kernels are compiled in "
+                    "and supported")
+                status = "FAIL"
+            else:
+                status = "ok (no wide kernels on this host)"
+        elif speedup < MIN_SIMD_SPEEDUP:
+            failures.append(
+                f"n_disks={n}: {dispatch} path slower than the scalar "
+                f"reference ({speedup:.2f}x, gate {MIN_SIMD_SPEEDUP}x)")
+            status = "FAIL"
+        print(f"  n_disks={n}: dispatch {dispatch}, "
+              f"{speedup:.2f}x vs scalar [{status}]")
+    return failures
+
+
 def flatten(summary, prefix=""):
     """Flatten a bench_summary dict to (dotted-key, number) pairs."""
     for key, val in summary.items():
@@ -94,6 +202,21 @@ def flatten(summary, prefix=""):
         if isinstance(val, dict):
             yield from flatten(val, f"{name}.")
         elif isinstance(val, (int, float)) and not isinstance(val, bool):
+            yield name, val
+
+
+def flatten_strings(summary, prefix=""):
+    """Flatten to (dotted-key, string) pairs — the provenance leaves.
+
+    'source' is excluded: it names the input file and changes every run.
+    """
+    for key, val in summary.items():
+        name = f"{prefix}{key}"
+        if name == "source":
+            continue
+        if isinstance(val, dict):
+            yield from flatten_strings(val, f"{name}.")
+        elif isinstance(val, str):
             yield name, val
 
 
@@ -153,6 +276,15 @@ def update_history(path, fresh_doc, fresh_path):
         else:
             delta = f"{100.0 * (val - old) / old:+.1f}%"
         print(f"  {name}: {old:.4g} -> {val:.4g} ({delta})")
+    # String leaves (provenance: compiler, flags, dispatch) only print
+    # when they differ — the attribution trail for any numeric jump.
+    prev_strings = dict(flatten_strings(previous))
+    for name, val in flatten_strings(summary):
+        old = prev_strings.get(name)
+        if old is None:
+            print(f"  {name}: {val} (new)")
+        elif old != val:
+            print(f"  {name}: {old} -> {val} (changed)")
 
 
 def main():
@@ -166,8 +298,12 @@ def main():
     args = parser.parse_args()
 
     fresh_doc = load(args.fresh)
-    baseline = by_n_disks(load(args.baseline), args.baseline)
+    baseline_doc = load(args.baseline)
+    baseline = by_n_disks(baseline_doc, args.baseline)
     fresh = by_n_disks(fresh_doc, args.fresh)
+
+    report_section_inventory(baseline_doc, fresh_doc)
+    report_provenance_diff(baseline_doc, fresh_doc)
 
     failures = []
     if baseline is None or fresh is None:
@@ -198,6 +334,8 @@ def main():
             print(f"  n_disks={n}: {cur['ops_per_s']:.0f} ops/s "
                   f"(baseline/{ratio:.2f}), {cur['allocs_per_op']} "
                   f"allocs/op [{status}]")
+
+    failures += check_simd_dispatch(fresh_doc, args.fresh)
 
     if args.history:
         update_history(args.history, fresh_doc, args.fresh)

@@ -201,6 +201,20 @@ def bench_summary(doc):
     """
     out = {"mode": doc.get("mode"), "threads": doc.get("threads")}
 
+    prov = doc.get("provenance")
+    if isinstance(prov, dict):
+        strings = {k: v for k, v in prov.items() if isinstance(v, str)}
+        if strings:
+            out["provenance"] = strings
+
+    simd = doc.get("single_relay_skyline_simd")
+    if isinstance(simd, list) and simd:
+        speedups = {e["n_disks"]: e["simd_vs_scalar_speedup"] for e in simd
+                    if isinstance(e, dict) and "n_disks" in e
+                    and "simd_vs_scalar_speedup" in e}
+        if speedups:
+            out["simd_vs_scalar_speedup"] = speedups
+
     srs = doc.get("single_relay_skyline")
     if isinstance(srs, list) and srs:
         ops = {e["n_disks"]: e["workspace"]["ops_per_s"] for e in srs
