@@ -24,6 +24,14 @@
 ///     runtime-dispatched kernels vs the same engine pinned to the scalar
 ///     reference kernels (ScopedKernelOverride), so a silent regression to
 ///     the fallback shows up as simd_vs_scalar_speedup ~ 1.0.
+///  7. sharded mobility: the tiled ShardedEngine + ShardedSkylineCache at
+///     growing deployment sizes (10k / 100k, plus 1M in --full) and shard
+///     counts {1, 2, 4, 8}, each shard count on its own pool of that many
+///     workers.  Reports recomputed relays/s, halo-node fraction, and
+///     speedup_vs_1_shard; every other step a stride sample of relays is
+///     compared bit-for-bit against a single-engine SkylineCache that
+///     replayed the identical trajectory (recorded in an untimed pass), so
+///     the scaling numbers are for provably identical output.
 ///
 /// The JSON header carries a provenance object (compiler, build flags,
 /// detected SIMD ISA, dispatch choice) so BENCH_history.jsonl deltas are
@@ -51,11 +59,13 @@
 #include <iostream>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "broadcast/all_skylines.hpp"
 #include "broadcast/forwarding.hpp"
 #include "broadcast/local_view.hpp"
+#include "broadcast/sharded_cache.hpp"
 #include "broadcast/skyline_cache.hpp"
 #include "core/skyline_dc.hpp"
 #include "core/skyline_reference.hpp"
@@ -63,6 +73,7 @@
 #include "geometry/simd.hpp"
 #include "net/dynamic_disk_graph.hpp"
 #include "net/mobility.hpp"
+#include "net/sharded_engine.hpp"
 #include "net/topology.hpp"
 #include "obs/event_log.hpp"
 #include "obs/export.hpp"
@@ -215,7 +226,7 @@ struct JsonWriter {
 constexpr const char* kSections[] = {
     "single_relay_skyline", "batch_all_relays", "graph_build",
     "batch_all_relays_threads", "mobility_steady_state",
-    "single_relay_skyline_simd"};
+    "single_relay_skyline_simd", "sharded_mobility"};
 
 bool known_section(const std::string& name) {
   for (const char* s : kSections) {
@@ -300,6 +311,10 @@ int main(int argc, char** argv) {
           std::string(geom::simd::simd_compiled() ? "yes" : "no"));
   j.field("detected_isa", std::string(geom::simd::detected_isa()));
   j.field("dispatch", std::string(geom::simd::dispatch_choice()));
+  // Thread-scaling sections are meaningless without the core count: a
+  // 1.0x curve on a 1-core host is physics, on a 16-core host a bug.
+  j.field("hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   j.close_obj();
   std::cout << "  provenance: " << compiler_id() << "; simd dispatch "
             << geom::simd::dispatch_choice() << " (detected "
@@ -705,6 +720,147 @@ int main(int argc, char** argv) {
       j.field("speedup_vs_full_rebuild", speedup);
       j.field("compactions", cache.compaction_count());
       j.close_obj();
+    }
+    j.close_arr();
+  }
+
+  // --- 6. sharded mobility: tiled engine scaling ---------------------------
+  // Constant-density deployments (the ~1000-node paper setup scaled up by
+  // area) under moderate random-waypoint motion, maintained by the tiled
+  // ShardedEngine + ShardedSkylineCache at shard counts {1, 2, 4, 8}; each
+  // shard count gets its own worker pool of that many threads, so
+  // speedup_vs_1_shard is the end-to-end decomposition + threading gain
+  // (on a single-core host it measures oversubscription instead — read it
+  // against provenance.hardware_concurrency).  Bit-identity: an untimed
+  // reference pass replays the identical trajectory (same seed) on a
+  // single-engine SkylineCache and records a stride sample of forwarding
+  // sets every other step; every sharded run is compared against the
+  // recording and the bench aborts on any divergence.
+  if (run_section("sharded_mobility")) {
+    const obs::TraceSpan section_span("bench.sharded_mobility");
+    const std::vector<std::size_t> node_targets =
+        quick ? std::vector<std::size_t>{10000}
+              : std::vector<std::size_t>{10000, 100000, 1000000};
+    constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+    constexpr int kCheckEvery = 2;
+
+    j.open_arr("sharded_mobility");
+    for (const std::size_t target : node_targets) {
+      net::DeploymentParams p;
+      p.model = net::RadiusModel::kUniform;
+      p.target_avg_degree = 36.8;
+      p.side = 12.5 * std::sqrt(static_cast<double>(target) / 1000.0);
+      net::WaypointParams wp;  // moderate regime
+      wp.v_min = 0.1;
+      wp.v_max = 0.5;
+      wp.pause = 2.0;
+      const std::uint64_t seed = 0x5EEDC0DEULL + target;
+      const int steps = target >= 1000000 ? 3 : (target >= 100000 ? 6 : 10);
+
+      // Untimed reference pass: single engine, same trajectory; record a
+      // stride sample of forwarding sets at every check step.
+      std::vector<std::vector<std::vector<net::NodeId>>> recorded;
+      std::size_t n_nodes = 0;
+      std::size_t stride = 1;
+      {
+        sim::Xoshiro256 rng(seed);
+        net::MobileNetwork mobile(p, wp, rng);
+        net::DynamicDiskGraph dyn{std::vector<net::Node>(
+            mobile.nodes().begin(), mobile.nodes().end())};
+        bcast::SkylineCache ref(dyn, pool);
+        n_nodes = dyn.size();
+        stride = std::max<std::size_t>(1, n_nodes / 2048);
+        for (int t = 0; t < steps; ++t) {
+          mobile.step(1.0, rng);
+          ref.update(dyn.apply(mobile.nodes(), mobile.moved_last_step()));
+          if (t % kCheckEvery != 0) continue;
+          std::vector<std::vector<net::NodeId>> sample;
+          for (std::size_t u = 0; u < n_nodes; u += stride) {
+            const auto set =
+                ref.forwarding_set(static_cast<net::NodeId>(u));
+            sample.emplace_back(set.begin(), set.end());
+          }
+          recorded.push_back(std::move(sample));
+        }
+      }
+
+      double ns_1shard = 0.0;
+      for (const std::size_t shards : kShardCounts) {
+        sim::Xoshiro256 rng(seed);
+        net::MobileNetwork mobile(p, wp, rng);
+        sim::ThreadPool pool_s(shards);
+        net::ShardedEngine::Config cfg;
+        cfg.shards = shards;
+        cfg.deployment = {{0.0, 0.0}, {p.side, p.side}};
+        net::ShardedEngine engine{
+            std::vector<net::Node>(mobile.nodes().begin(),
+                                   mobile.nodes().end()),
+            pool_s, cfg};
+        bcast::ShardedSkylineCache cache(engine);
+
+        using clock = std::chrono::steady_clock;
+        const std::uint64_t recomputes0 = cache.recompute_count();
+        double step_ns = 0.0;
+        std::size_t checked = 0;
+        for (int t = 0; t < steps; ++t) {
+          mobile.step(1.0, rng);
+          const auto t0 = clock::now();
+          cache.step(mobile.nodes(), mobile.moved_last_step());
+          const auto t1 = clock::now();
+          step_ns += static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+          if (t % kCheckEvery != 0) continue;
+          const auto& sample = recorded[checked++];
+          std::size_t si = 0;
+          for (std::size_t u = 0; u < n_nodes; u += stride, ++si) {
+            const auto got = cache.forwarding_set(static_cast<net::NodeId>(u));
+            const auto& want = sample[si];
+            if (!std::equal(got.begin(), got.end(), want.begin(),
+                            want.end())) {
+              std::cerr << "FATAL: sharded cache diverged from single "
+                           "engine (nodes " << n_nodes << ", shards "
+                        << shards << ", step " << t << ", relay " << u
+                        << ")\n";
+              std::abort();
+            }
+          }
+        }
+
+        const double d_steps = static_cast<double>(steps);
+        const std::uint64_t recomputed =
+            cache.recompute_count() - recomputes0;
+        const double relays_per_s =
+            static_cast<double>(recomputed) * 1e9 / step_ns;
+        if (shards == 1) ns_1shard = step_ns;
+        const double speedup = ns_1shard / step_ns;
+
+        std::cout << "  sharded n=" << n_nodes << " shards=" << shards
+                  << " (" << engine.rows() << "x" << engine.cols() << "): "
+                  << step_ns / d_steps / 1e6 << " ms/step, "
+                  << relays_per_s << " relays/s, halo "
+                  << engine.halo_fraction() << " => " << speedup
+                  << "x vs 1 shard\n";
+
+        j.open_obj();
+        j.field("nodes", static_cast<std::uint64_t>(n_nodes));
+        j.field("shards", static_cast<std::uint64_t>(shards));
+        j.field("rows", static_cast<std::uint64_t>(engine.rows()));
+        j.field("cols", static_cast<std::uint64_t>(engine.cols()));
+        j.field("steps", static_cast<std::uint64_t>(steps));
+        j.field("step_ns", step_ns / d_steps);
+        j.field("recomputed_relays_per_step",
+                static_cast<double>(recomputed) / d_steps);
+        j.field("relays_per_s", relays_per_s);
+        j.field("halo_fraction", engine.halo_fraction());
+        j.field("migrations_per_step",
+                static_cast<double>(engine.migration_count()) / d_steps);
+        j.field("speedup_vs_1_shard", speedup);
+        j.field("identity_checks", static_cast<std::uint64_t>(checked));
+        j.field("identity_relays_per_check",
+                static_cast<std::uint64_t>((n_nodes + stride - 1) / stride));
+        j.close_obj();
+      }
     }
     j.close_arr();
   }

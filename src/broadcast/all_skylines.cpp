@@ -31,13 +31,19 @@ MLDCS_HOT_PATH AllSkylines compute_all_skylines(const net::DiskGraph& g,
   if (n == 0) return out;
 
   // Each chunk appends its nodes' forwarding sets to a private blob and
-  // records per-node counts in the shared (disjointly indexed) offsets
-  // array; chunks cover contiguous node ranges, so stitching is one
-  // straight copy per chunk after a prefix sum.  The chunk struct also
-  // carries the per-chunk scratch (skyline workspace plus the local disk
-  // set / arc / index buffers), reused across every node of the range.
+  // stages per-node set sizes and arc counts in private arrays too — the
+  // sweep writes NOTHING shared, so chunk-boundary cache lines never
+  // ping-pong between workers.  Chunks cover contiguous node ranges, so
+  // after a (serial, O(n)) prefix sum the stitch is one straight copy per
+  // chunk, run back on the pool: the memory-bandwidth-heavy patch-in
+  // scales with the workers instead of serializing on the caller.  The
+  // chunk struct also carries the per-chunk scratch (skyline workspace
+  // plus the local disk set / arc / index buffers), reused across every
+  // node of the range.
   struct ChunkOut {
     std::vector<net::NodeId> ids;
+    std::vector<std::uint32_t> set_sizes;   // per node in [lo, hi)
+    std::vector<std::uint32_t> arc_counts;  // per node in [lo, hi)
     std::size_t lo = 0;
     core::SkylineWorkspace ws;
     std::vector<geom::Disk> disks;
@@ -65,22 +71,34 @@ MLDCS_HOT_PATH AllSkylines compute_all_skylines(const net::DiskGraph& g,
     ChunkOut& co = chunk_out[c];
     co.lo = lo;
     co.ws.reserve(64);
+    co.set_sizes.reserve(hi - lo);
+    co.arc_counts.reserve(hi - lo);
     for (std::size_t u = lo; u < hi; ++u) {
       const net::NodeId id = static_cast<net::NodeId>(u);
-      out.arc_counts_[u] = detail::relay_forwarding_set(
-          g, id, co.ws, co.disks, co.arcs, co.sky_set, co.relay_ids);
+      co.arc_counts.push_back(detail::relay_forwarding_set(
+          g, id, co.ws, co.disks, co.arcs, co.sky_set, co.relay_ids));
       co.ids.insert(co.ids.end(), co.relay_ids.begin(), co.relay_ids.end());
-      // Shifted count; prefix-summed below.
-      out.offsets_[u + 1] = static_cast<std::uint32_t>(co.relay_ids.size());
+      co.set_sizes.push_back(static_cast<std::uint32_t>(co.relay_ids.size()));
     }
   });
 
+  // Serial O(n) spine: shifted counts, then the prefix sum.
+  for (const ChunkOut& co : chunk_out) {
+    std::copy(co.set_sizes.begin(), co.set_sizes.end(),
+              out.offsets_.begin() + co.lo + 1);
+  }
   for (std::size_t i = 0; i < n; ++i) out.offsets_[i + 1] += out.offsets_[i];
   out.ids_.resize(out.offsets_[n]);
-  for (const ChunkOut& co : chunk_out) {
+
+  // Parallel stitch: each chunk patches its own contiguous CSR span and
+  // arc-count range; spans are disjoint by construction, so no locking.
+  pool.parallel_for(chunk_out.size(), [&](std::size_t c) {
+    const ChunkOut& co = chunk_out[c];
     std::copy(co.ids.begin(), co.ids.end(),
               out.ids_.begin() + out.offsets_[co.lo]);
-  }
+    std::copy(co.arc_counts.begin(), co.arc_counts.end(),
+              out.arc_counts_.begin() + co.lo);
+  });
   return out;
 }
 

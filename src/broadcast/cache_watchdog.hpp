@@ -18,8 +18,10 @@
 ///   ...
 ///   if (!wd.clean()) alarm(wd.last_mismatched_relays());
 
+#include "broadcast/sharded_cache.hpp"
 #include "broadcast/skyline_cache.hpp"
 #include "net/dynamic_disk_graph.hpp"
+#include "net/sharded_engine.hpp"
 #include "obs/watchdog.hpp"
 
 namespace mldcs::bcast {
@@ -28,6 +30,15 @@ namespace mldcs::bcast {
 /// Both must outlive the returned watchdog.
 [[nodiscard]] obs::ConsistencyWatchdog make_cache_watchdog(
     const net::DynamicDiskGraph& g, const SkylineCache& cache,
+    obs::ConsistencyWatchdog::Config config = {});
+
+/// Sharded variant: each sampled relay is recomputed from scratch on its
+/// owner shard's region graph (whose owned adjacency equals the
+/// whole-plane one — the halo guarantee the watchdog then re-proves every
+/// period) and compared against the owner's slotted store.  Call
+/// `on_step(cache.last_update_event())` once per sharded step, after it.
+[[nodiscard]] obs::ConsistencyWatchdog make_cache_watchdog(
+    const ShardedSkylineCache& cache,
     obs::ConsistencyWatchdog::Config config = {});
 
 }  // namespace mldcs::bcast

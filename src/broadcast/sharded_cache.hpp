@@ -1,0 +1,233 @@
+#pragma once
+
+/// \file sharded_cache.hpp
+/// Sharded incremental MLDCS forwarding sets: one serial `ShardCache` per
+/// engine shard, recomputed inside the engine's per-step barrier.
+///
+/// The single-engine `SkylineCache` parallelizes *within* one dirty set
+/// (chunked workers into one slotted store).  At deployment scale the
+/// better unit of parallelism is the shard: each `net::ShardedEngine` tile
+/// gets its own cache — private slotted arc store, private workspace,
+/// private dirty set — maintaining forwarding sets for exactly the relays
+/// the tile owns.  Because an owned relay's adjacency in its shard's
+/// region graph is identical to the whole-plane adjacency (sorted global
+/// NodeIds — the halo guarantee), the per-relay inner loop
+/// (relay_skyline.hpp) produces byte-identical sets, so
+/// `ShardedSkylineCache::forwarding_set(u)` — which reads the owner
+/// shard's store — equals the single-engine cache after every step.  Exact
+/// at position_tolerance 0; a positive tolerance keeps each shard
+/// internally consistent but lets committed positions drift from what one
+/// global cache would have (a relay that crosses a border is force-marked
+/// dirty on arrival so its new owner never serves a stale slot).
+///
+/// Concurrency contract: `ShardCache::update` runs on the engine's worker
+/// threads, one shard per call, with **zero cross-shard locking** — it is
+/// `MLDCS_NO_LOCK` and therefore touches no telemetry registry, no trace
+/// spans, no event log (all of which are lock-light but not lock-free to
+/// first-register).  Every counter it keeps is a plain member; the
+/// composite aggregates them and reports after the barrier, on the caller
+/// thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/arc.hpp"
+#include "core/skyline_dc.hpp"
+#include "geometry/disk.hpp"
+#include "geometry/vec2.hpp"
+#include "net/dynamic_disk_graph.hpp"
+#include "net/node.hpp"
+#include "net/sharded_engine.hpp"
+#include "obs/event_log.hpp"
+
+namespace mldcs::bcast {
+
+/// One shard's forwarding-set cache: serial dirty-relay maintenance over a
+/// region-mode graph, restricted to the relays this shard owns.  Slot
+/// indexing is by global NodeId (dense arrays of the full deployment size),
+/// so lookups need no id translation.
+class ShardCache {
+ public:
+  struct Config {
+    /// Same meaning as SkylineCache::Config: 0 = exact maintenance.
+    double position_tolerance = 0.0;
+    /// Dead fraction of the slotted store that triggers compaction.
+    double compaction_threshold = 0.5;
+  };
+
+  /// Full initial sweep over the relays `owner_of` assigns to `shard`.
+  /// `g` (the shard's region graph) and the `owner_of` span (the engine's
+  /// live owner map) must outlive the cache.
+  ShardCache(const net::DynamicDiskGraph& g, std::uint32_t shard,
+             std::span<const std::uint32_t> owner_of, Config config);
+
+  /// Recompute the owned relays dirtied by this shard's `delta` (already
+  /// applied to the graph).  `migrated` is the engine's global migration
+  /// list for the step; arrivals into this shard are force-marked dirty so
+  /// ownership handover never serves a stale slot.  Serial, shard-local,
+  /// lock-free; steady-state allocation-free outside member-scratch
+  /// growth.
+  MLDCS_HOT_PATH MLDCS_NO_LOCK void update(
+      const net::DynamicDiskGraph::StepDelta& delta,
+      std::span<const net::NodeId> migrated);
+
+  /// The cached forwarding set of relay `u`, sorted ascending.  Valid only
+  /// while this shard owns `u` (the composite routes queries to owners).
+  [[nodiscard]] std::span<const net::NodeId> forwarding_set(
+      net::NodeId u) const noexcept {
+    const Slot& s = slots_[u];
+    return {ids_.data() + s.begin, ids_.data() + s.begin + s.len};
+  }
+
+  [[nodiscard]] std::uint32_t arc_count(net::NodeId u) const noexcept {
+    return arc_counts_[u];
+  }
+
+  /// Owned relays recomputed by the most recent update (sorted ascending).
+  [[nodiscard]] std::span<const net::NodeId> last_dirty() const noexcept {
+    return dirty_;
+  }
+
+  [[nodiscard]] std::uint64_t recompute_count() const noexcept {
+    return recomputes_;
+  }
+  [[nodiscard]] std::uint64_t compaction_count() const noexcept {
+    return compactions_;
+  }
+  [[nodiscard]] std::uint64_t update_count() const noexcept {
+    return updates_;
+  }
+  [[nodiscard]] std::size_t store_size() const noexcept { return ids_.size(); }
+
+  /// Deliberately corrupt relay `u`'s slot (watchdog tests only).
+  void corrupt_slot_for_testing(net::NodeId u);
+
+ private:
+  struct Slot {
+    std::uint32_t begin = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
+  };
+
+  /// Slot slack policy, identical to SkylineCache::cap_for.
+  [[nodiscard]] static std::uint32_t cap_for(std::size_t len) noexcept {
+    return static_cast<std::uint32_t>(len + len / 4 + 2);
+  }
+
+  [[nodiscard]] bool owned(net::NodeId u) const noexcept {
+    return owner_of_[u] == shard_;
+  }
+  MLDCS_ALLOC_OK void full_sweep();
+  MLDCS_HOT_PATH MLDCS_NO_LOCK void recompute_marked();
+  MLDCS_HOT_PATH MLDCS_NO_LOCK void store(net::NodeId u,
+                                          std::span<const net::NodeId> set);
+  MLDCS_ALLOC_OK void compact();
+
+  const net::DynamicDiskGraph* g_;
+  std::uint32_t shard_;
+  std::span<const std::uint32_t> owner_of_;
+  Config config_;
+
+  std::vector<Slot> slots_;
+  std::vector<net::NodeId> ids_;
+  std::vector<std::uint32_t> arc_counts_;
+  std::size_t live_ids_ = 0;  ///< sum of slot lengths (store accounting)
+  std::size_t dead_ids_ = 0;  ///< abandoned (outgrown) slot capacity
+
+  std::vector<geom::Vec2> committed_pos_;
+  std::vector<net::NodeId> dirty_;
+  std::vector<std::uint8_t> in_dirty_;
+
+  /// Serial per-shard recompute scratch (the shard *is* the worker).
+  core::SkylineWorkspace ws_;
+  std::vector<geom::Disk> disks_;
+  std::vector<core::Arc> arcs_;
+  std::vector<std::size_t> sky_set_;
+  std::vector<net::NodeId> relay_ids_;
+
+  std::uint64_t recomputes_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+/// Whole-deployment forwarding sets over a ShardedEngine: one ShardCache
+/// per shard, updated inside the engine's step barrier via the shard hook,
+/// queried by owner routing.  Drop-in equivalent of the single-engine
+/// `SkylineCache` (same query surface, same kCacheUpdate event per step,
+/// bit-identical sets at tolerance 0).
+class ShardedSkylineCache {
+ public:
+  using Config = ShardCache::Config;
+
+  /// Builds every shard's cache (initial sweeps run in parallel on the
+  /// engine's pool) and installs the engine's shard hook.  The engine must
+  /// outlive this cache, which must be the engine's only hook client.
+  explicit ShardedSkylineCache(net::ShardedEngine& engine, Config config = {});
+  ~ShardedSkylineCache();
+
+  ShardedSkylineCache(const ShardedSkylineCache&) = delete;
+  ShardedSkylineCache& operator=(const ShardedSkylineCache&) = delete;
+
+  /// One fused mobility step: engine ownership commit, parallel per-shard
+  /// graph apply + dirty recompute (one barrier), then position commit and
+  /// step-level reporting.  Arguments as in ShardedEngine::step.
+  MLDCS_HOT_PATH void step(std::span<const net::Node> current,
+                           std::span<const net::NodeId> moved_hint);
+
+  [[nodiscard]] std::size_t size() const noexcept { return engine_->size(); }
+
+  /// The cached forwarding set of relay `u` (owner shard's store).
+  [[nodiscard]] std::span<const net::NodeId> forwarding_set(
+      net::NodeId u) const noexcept {
+    return shards_[engine_->owner_of(u)]->forwarding_set(u);
+  }
+  [[nodiscard]] std::uint32_t arc_count(net::NodeId u) const noexcept {
+    return shards_[engine_->owner_of(u)]->arc_count(u);
+  }
+
+  /// Total forwarding-set cardinality over all relays (owner-routed scan).
+  [[nodiscard]] std::size_t total_forwarders() const;
+
+  /// Owned relays recomputed in the most recent step, across all shards.
+  [[nodiscard]] std::uint64_t last_dirty_count() const noexcept {
+    return last_dirty_count_;
+  }
+  [[nodiscard]] std::uint64_t recompute_count() const noexcept;
+  [[nodiscard]] std::uint64_t update_count() const noexcept {
+    return updates_;
+  }
+
+  /// Flight-recorder id of the most recent step's kCacheUpdate event
+  /// (parented to the engine's kShardExchange).
+  [[nodiscard]] std::uint64_t last_update_event() const noexcept {
+    return last_update_event_;
+  }
+
+  [[nodiscard]] const net::ShardedEngine& engine() const noexcept {
+    return *engine_;
+  }
+  [[nodiscard]] ShardCache& shard(std::size_t s) noexcept {
+    return *shards_[s];
+  }
+  [[nodiscard]] const ShardCache& shard(std::size_t s) const noexcept {
+    return *shards_[s];
+  }
+
+  /// Corrupt relay `u`'s slot in its owner shard (watchdog tests only).
+  void corrupt_slot_for_testing(net::NodeId u) {
+    shards_[engine_->owner_of(u)]->corrupt_slot_for_testing(u);
+  }
+
+ private:
+  net::ShardedEngine* engine_;
+  std::vector<std::unique_ptr<ShardCache>> shards_;
+  std::uint64_t updates_ = 0;
+  std::uint64_t last_dirty_count_ = 0;
+  std::uint64_t last_update_event_ = obs::kNoEvent;
+};
+
+}  // namespace mldcs::bcast

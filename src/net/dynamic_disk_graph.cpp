@@ -37,6 +37,16 @@ GraphTelemetry& graph_telemetry() {
 }  // namespace
 
 DynamicDiskGraph::DynamicDiskGraph(std::vector<Node> nodes) {
+  init(std::move(nodes));
+}
+
+DynamicDiskGraph::DynamicDiskGraph(std::vector<Node> nodes,
+                                   const geom::BBox& interest)
+    : region_mode_(true), interest_(interest) {
+  init(std::move(nodes));
+}
+
+void DynamicDiskGraph::init(std::vector<Node> nodes) {
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     nodes[i].id = static_cast<NodeId>(i);
   }
@@ -67,10 +77,21 @@ DynamicDiskGraph::DynamicDiskGraph(std::vector<Node> nodes) {
   ny_ = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(std::floor((max_y - min_y) / cell_)) + 1);
 
+  resident_.assign(n, 1);
+  resident_count_ = n;
+  if (region_mode_) {
+    resident_count_ = 0;
+    for (const Node& node : nodes_) {
+      resident_[node.id] = interest_.contains(node.pos) ? 1 : 0;
+      resident_count_ += resident_[node.id];
+    }
+  }
+
   buckets_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_),
                   {});
   bucket_of_.resize(n);
   for (const Node& node : nodes_) {
+    if (resident_[node.id] == 0) continue;
     const std::size_t c = cell_of(node.pos);
     bucket_of_[node.id] = static_cast<std::uint32_t>(c);
     buckets_[c].push_back(node.id);
@@ -79,6 +100,7 @@ DynamicDiskGraph::DynamicDiskGraph(std::vector<Node> nodes) {
   adjacency_.resize(n);
   in_moved_.assign(n, 0);
   for (NodeId u = 0; u < n; ++u) {
+    if (resident_[u] == 0) continue;
     const Node& nu = nodes_[u];
     scratch_candidates_.clear();
     query_candidates(nu.pos, nu.radius, scratch_candidates_);
@@ -134,7 +156,9 @@ void DynamicDiskGraph::rebucket(NodeId u, geom::Vec2 new_pos) {
   const std::size_t new_cell = cell_of(new_pos);
   const std::size_t old_cell = bucket_of_[u];
   if (new_cell == old_cell) return;
-  graph_telemetry().rebucketed.add();
+  // Shard graphs step concurrently and report through shard.* counters
+  // instead (and must not race to first-initialize the registry entries).
+  if (!region_mode_) graph_telemetry().rebucketed.add();
   std::vector<NodeId>& old_bucket = buckets_[old_cell];
   // Bucket order is irrelevant to correctness (adjacency lists are sorted
   // after the exact-distance filter), so swap-erase keeps removal O(1).
@@ -171,6 +195,22 @@ MLDCS_HOT_PATH const DynamicDiskGraph::StepDelta& DynamicDiskGraph::apply(
   return apply_moved(current);
 }
 
+MLDCS_HOT_PATH void DynamicDiskGraph::classify_movers(
+    std::span<const Node> current) {
+  // Rewrite delta_.moved in place, keeping only movers that touch the
+  // interest rectangle and recording each survivor's kind in in_moved_
+  // (1 = move or insert, 2 = evict).  Order — hence sortedness — is kept.
+  std::size_t w = 0;
+  for (const NodeId u : delta_.moved) {
+    const bool was = resident_[u] != 0;
+    const bool now = interest_.contains(current[u].pos);
+    if (!was && !now) continue;  // passed by outside: not our node
+    in_moved_[u] = (was && !now) ? 2 : 1;
+    delta_.moved[w++] = u;
+  }
+  delta_.moved.resize(w);
+}
+
 MLDCS_HOT_PATH const DynamicDiskGraph::StepDelta&
 DynamicDiskGraph::apply_moved(
     std::span<const Node> current) {
@@ -179,30 +219,55 @@ DynamicDiskGraph::apply_moved(
   delta_.edges_added = 0;
   delta_.edges_removed = 0;
 
+  if (region_mode_) classify_movers(current);
+
   // Phase 1: commit every moved position and re-bucket, so phase 2's grid
-  // queries and symmetric linked_to tests all see the new geometry.
+  // queries and symmetric linked_to tests all see the new geometry.  In
+  // region mode this is also where residency flips: an entering node gets a
+  // fresh bucket slot, a leaving node loses its slot (so no later grid
+  // query can see it) and keeps in_moved_ == 2 for phase 2.
   for (const NodeId u : delta_.moved) {
     assert(current[u].radius == nodes_[u].radius &&
            "apply: radii are fixed under mobility");
-    rebucket(u, current[u].pos);
+    if (in_moved_[u] == 2) {
+      std::vector<NodeId>& bucket = buckets_[bucket_of_[u]];
+      const auto it = std::find(bucket.begin(), bucket.end(), u);
+      *it = bucket.back();
+      bucket.pop_back();
+      resident_[u] = 0;
+      --resident_count_;
+    } else {
+      in_moved_[u] = 1;
+      if (resident_[u] == 0) {
+        const std::size_t c = cell_of(current[u].pos);
+        bucket_of_[u] = static_cast<std::uint32_t>(c);
+        buckets_[c].push_back(u);
+        resident_[u] = 1;
+        ++resident_count_;
+      } else {
+        rebucket(u, current[u].pos);
+      }
+    }
     nodes_[u].pos = current[u].pos;
-    in_moved_[u] = 1;
   }
 
   // Phase 2: recompute each moved node's neighbor list exactly, and patch
   // the diffs into unmoved endpoints.  A flipped edge between two moved
   // nodes shows up in both recomputations (linked_to is symmetric and both
   // sides see post-move positions), so it is counted only from the lower
-  // endpoint.
+  // endpoint.  An evicted node's new list is empty by fiat — its bucket
+  // slot is already gone, so every old link shows up as removed.
   for (const NodeId u : delta_.moved) {
-    const Node& nu = nodes_[u];
-    scratch_candidates_.clear();
-    query_candidates(nu.pos, nu.radius, scratch_candidates_);
     scratch_adj_.clear();
-    for (const NodeId v : scratch_candidates_) {
-      if (v != u && nu.linked_to(nodes_[v])) scratch_adj_.push_back(v);
+    if (in_moved_[u] != 2) {
+      const Node& nu = nodes_[u];
+      scratch_candidates_.clear();
+      query_candidates(nu.pos, nu.radius, scratch_candidates_);
+      for (const NodeId v : scratch_candidates_) {
+        if (v != u && nu.linked_to(nodes_[v])) scratch_adj_.push_back(v);
+      }
+      std::sort(scratch_adj_.begin(), scratch_adj_.end());
     }
-    std::sort(scratch_adj_.begin(), scratch_adj_.end());
 
     // Sorted two-pointer diff of old (adjacency_[u]) vs new (scratch_adj_).
     const std::vector<NodeId>& old_adj = adjacency_[u];
@@ -245,6 +310,15 @@ DynamicDiskGraph::apply_moved(
       std::unique(delta_.link_changed.begin(), delta_.link_changed.end()),
       delta_.link_changed.end());
 
+  ++steps_;
+  if (region_mode_) {
+    // Shard steps run concurrently: no global counters, and the engine
+    // emits one kShardExchange event for the whole barrier instead of a
+    // kStep per shard.
+    delta_.event_id = obs::kNoEvent;
+    return delta_;
+  }
+
   GraphTelemetry& t = graph_telemetry();
   t.steps.add();
   t.movers.add(delta_.moved.size());
@@ -253,7 +327,6 @@ DynamicDiskGraph::apply_moved(
   t.movers_per_step.record(delta_.moved.size());
   t.flips_per_step.record(delta_.edges_added + delta_.edges_removed);
 
-  ++steps_;
   delta_.event_id = obs::emit_event(
       obs::EventType::kStep, static_cast<std::uint32_t>(delta_.moved.size()),
       static_cast<std::uint32_t>(delta_.link_changed.size()), obs::kNoEvent,
@@ -262,6 +335,11 @@ DynamicDiskGraph::apply_moved(
 }
 
 DiskGraph DynamicDiskGraph::to_disk_graph() const {
+  if (region_mode_) {
+    throw std::logic_error(
+        "DynamicDiskGraph::to_disk_graph: region graphs hold stale "
+        "positions for non-resident slots; snapshot the whole-plane graph");
+  }
   return DiskGraph::from_adjacency(
       std::vector<Node>(nodes_.begin(), nodes_.end()), adjacency_);
 }

@@ -21,12 +21,28 @@
 /// maintained adjacency is always identical to what `DiskGraph::build`
 /// would produce on the current positions (differential-tested in
 /// tests/net/dynamic_disk_graph_test.cpp).
+///
+/// **Region mode** (the shard substrate of net::ShardedEngine): constructed
+/// with an interest rectangle, the graph keeps every node *slot* (ids stay
+/// global) but only nodes inside the rectangle are *resident* — bucketed in
+/// the grid with maintained adjacency.  `apply` then classifies each hinted
+/// mover by (was resident, new position in region): stay → ordinary move,
+/// enter → insertion (adjacency grown from empty via the same edge diff),
+/// leave → eviction (adjacency diffed to empty, bucket slot dropped), and
+/// movers that never touch the region are ignored.  Non-resident nodes have
+/// empty neighbor lists and may hold stale positions; residents' adjacency
+/// — restricted to resident endpoints — is exact.  When the interest
+/// rectangle is a tile dilated by the deployment's maximum radius, every
+/// node inside the tile has its complete 1-hop set resident (a link spans
+/// at most max radius), which is the halo-correctness guarantee the
+/// sharded skyline cache is built on.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "geometry/bbox.hpp"
 #include "net/disk_graph.hpp"
 #include "net/node.hpp"
 #include "obs/event_log.hpp"
@@ -59,6 +75,27 @@ class DynamicDiskGraph {
   /// Build the initial topology.  Node ids are reassigned to indices, as in
   /// `DiskGraph::build`.
   explicit DynamicDiskGraph(std::vector<Node> nodes);
+
+  /// Region mode: keep a slot for every node (ids are still indices into the
+  /// full deployment) but bucket and link only the nodes inside `interest`.
+  /// Grid geometry (cell size, extent) is computed from the full deployment,
+  /// so shard grids agree with the global one.  See the file comment.
+  DynamicDiskGraph(std::vector<Node> nodes, const geom::BBox& interest);
+
+  [[nodiscard]] bool region_mode() const noexcept { return region_mode_; }
+  [[nodiscard]] const geom::BBox& interest() const noexcept {
+    return interest_;
+  }
+
+  /// True if `id` is currently inside this graph's interest region (always
+  /// true in whole-plane mode).  Non-resident nodes have empty neighbor
+  /// lists and possibly stale positions.
+  [[nodiscard]] bool resident(NodeId id) const noexcept {
+    return resident_[id] != 0;
+  }
+  [[nodiscard]] std::size_t resident_count() const noexcept {
+    return resident_count_;
+  }
 
   [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
@@ -95,20 +132,38 @@ class DynamicDiskGraph {
   /// recomputed from the grid, and the resulting edge diffs are patched
   /// into the unmoved endpoints' lists.  Returns the delta of this step;
   /// the reference stays valid until the next `apply`.
+  ///
+  /// In region mode each mover is first classified against the interest
+  /// rectangle (move / insert / evict / ignore); `delta.moved` then lists
+  /// only the movers that touched the region, and evicted nodes appear in
+  /// `moved` with their links torn down in `link_changed`.  Region-mode
+  /// steps emit no kStep event and touch no global telemetry — many shard
+  /// graphs step concurrently, and the sharded engine reports for all of
+  /// them (`delta.event_id` stays obs::kNoEvent).
   MLDCS_HOT_PATH const StepDelta& apply(std::span<const Node> current);
 
   /// Same, with the moved set supplied by the caller (e.g.
   /// `MobileNetwork::moved_last_step()`), skipping the O(n) change scan.
-  /// Ids not in `moved_hint` must be unchanged in `current`.
+  /// Ids not in `moved_hint` must be unchanged in `current` (region mode:
+  /// hints whose old and new positions are both outside the region are
+  /// permitted and ignored).
   MLDCS_HOT_PATH const StepDelta& apply(
       std::span<const Node> current, std::span<const NodeId> moved_hint);
 
+  /// The most recent `apply`'s delta (an empty delta before the first
+  /// apply).  Same lifetime rule as the `apply` return value.
+  [[nodiscard]] const StepDelta& last_delta() const noexcept { return delta_; }
+
   /// Materialize the current topology as an immutable CSR `DiskGraph`
   /// (O(edges) copy of the maintained adjacency — no grid rebuild).
+  /// Whole-plane mode only: a region graph's non-resident slots hold stale
+  /// positions, so the snapshot would be meaningless (throws).
   [[nodiscard]] DiskGraph to_disk_graph() const;
 
  private:
+  void init(std::vector<Node> nodes);
   MLDCS_HOT_PATH const StepDelta& apply_moved(std::span<const Node> current);
+  MLDCS_HOT_PATH void classify_movers(std::span<const Node> current);
   [[nodiscard]] std::size_t cell_of(geom::Vec2 p) const noexcept;
   void query_candidates(geom::Vec2 p, double range,
                         std::vector<NodeId>& out) const;
@@ -118,6 +173,13 @@ class DynamicDiskGraph {
   std::vector<std::vector<NodeId>> adjacency_;  ///< sorted per node
   std::size_t edges_ = 0;
   std::uint64_t steps_ = 0;
+
+  // Region mode (see file comment).  resident_ is all-ones in whole-plane
+  // mode so `resident()` needs no branch.
+  bool region_mode_ = false;
+  geom::BBox interest_{};
+  std::vector<std::uint8_t> resident_;
+  std::size_t resident_count_ = 0;
 
   // Bucketed grid (same geometry as SpatialGrid: cell side = max radius,
   // fixed origin/extent from the initial deployment, out-of-range positions
@@ -134,7 +196,10 @@ class DynamicDiskGraph {
   StepDelta delta_;
   std::vector<NodeId> scratch_candidates_;
   std::vector<NodeId> scratch_adj_;
-  std::vector<std::uint8_t> in_moved_;  ///< membership mask for delta_.moved
+  /// Membership mask for delta_.moved: 0 = unmoved, 1 = moved (or inserted
+  /// into the region), 2 = evicted from the region (new adjacency forced
+  /// empty in phase 2).
+  std::vector<std::uint8_t> in_moved_;
 };
 
 }  // namespace mldcs::net

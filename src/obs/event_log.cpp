@@ -28,6 +28,8 @@ const char* event_type_name(EventType t) noexcept {
       return "watchdog_check";
     case EventType::kWatchdogMismatch:
       return "watchdog_mismatch";
+    case EventType::kShardExchange:
+      return "shard_exchange";
   }
   return "unknown";
 }

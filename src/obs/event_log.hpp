@@ -44,6 +44,12 @@
 /// | kCacheUpdate      | dirty count    | —                   | update index | the step's kStep  |
 /// | kWatchdogCheck    | sampled count  | mismatch count      | step index   | last kCacheUpdate |
 /// | kWatchdogMismatch | relay id       | —                   | —            | the kWatchdogCheck|
+/// | kShardExchange    | routed halo updates | migrations     | step index   | —                 |
+///
+/// kShardExchange is the sharded engine's step-level event (one per
+/// barrier; shard region graphs emit no per-shard kStep), so a sharded
+/// cache update parents to it exactly as a single-engine kCacheUpdate
+/// parents to its kStep.
 
 #include <cstddef>
 #include <cstdint>
@@ -74,6 +80,7 @@ enum class EventType : std::uint8_t {
   kCacheUpdate,
   kWatchdogCheck,
   kWatchdogMismatch,
+  kShardExchange,
 };
 
 /// Stable short name used in the JSONL export ("tx", "rx", "dup_rx", ...).

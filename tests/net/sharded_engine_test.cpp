@@ -1,0 +1,331 @@
+// Tests for the spatially sharded engine and cache: halo residency must
+// cover every owned relay's 1-hop set, border crossings must migrate
+// ownership, and the sharded forwarding sets must stay bit-identical to
+// the single-engine SkylineCache at every step, for every shard count.
+
+#include "net/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "broadcast/cache_watchdog.hpp"
+#include "broadcast/sharded_cache.hpp"
+#include "broadcast/skyline_cache.hpp"
+#include "net/dynamic_disk_graph.hpp"
+#include "net/mobility.hpp"
+#include "net/topology.hpp"
+#include "obs/event_log.hpp"
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace mldcs::net {
+namespace {
+
+DeploymentParams small_deploy(double degree = 8.0) {
+  DeploymentParams p;
+  p.target_avg_degree = degree;
+  p.model = RadiusModel::kUniform;
+  return p;
+}
+
+geom::BBox square(double side) { return {{0.0, 0.0}, {side, side}}; }
+
+std::vector<NodeId> vec(std::span<const NodeId> s) {
+  return {s.begin(), s.end()};
+}
+
+ShardedEngine::Config sharded(std::size_t shards, double side) {
+  ShardedEngine::Config c;
+  c.shards = shards;
+  c.deployment = square(side);
+  return c;
+}
+
+// --- Region-mode DynamicDiskGraph (the shard substrate) --------------------
+
+TEST(RegionGraphTest, ResidencyRestrictsAdjacencyToTheRegion) {
+  // Four unit-radius nodes on a line; region = left half [0,2]x[0,4].
+  std::vector<Node> nodes{{0, {0.5, 1.0}, 1.0},
+                          {1, {1.2, 1.0}, 1.0},
+                          {2, {2.5, 1.0}, 1.0},
+                          {3, {3.2, 1.0}, 1.0}};
+  const geom::BBox region{{0.0, 0.0}, {2.0, 4.0}};
+  DynamicDiskGraph g{std::vector<Node>(nodes), region};
+  EXPECT_TRUE(g.region_mode());
+  EXPECT_EQ(g.resident_count(), 2u);
+  EXPECT_TRUE(g.resident(0));
+  EXPECT_TRUE(g.resident(1));
+  EXPECT_FALSE(g.resident(2));
+  EXPECT_FALSE(g.resident(3));
+  // Residents link to residents only; non-residents have empty lists even
+  // though node 2 is within range of node 3 in the whole plane.
+  EXPECT_EQ(vec(g.neighbors(0)), (std::vector<NodeId>{1}));
+  EXPECT_EQ(vec(g.neighbors(1)), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(g.neighbors(2).empty());
+  EXPECT_TRUE(g.neighbors(3).empty());
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_THROW((void)g.to_disk_graph(), std::logic_error);
+}
+
+TEST(RegionGraphTest, ApplyClassifiesMoveInsertEvict) {
+  std::vector<Node> nodes{{0, {0.5, 1.0}, 1.0},
+                          {1, {1.2, 1.0}, 1.0},
+                          {2, {3.2, 1.0}, 1.0}};
+  const geom::BBox region{{0.0, 0.0}, {2.0, 4.0}};
+  DynamicDiskGraph g{std::vector<Node>(nodes), region};
+
+  // Insert: node 2 enters the region next to node 1.
+  nodes[2].pos = {1.4, 1.0};
+  const NodeId moved2[] = {2};
+  const auto& d1 = g.apply(nodes, moved2);
+  EXPECT_EQ(d1.moved, (std::vector<NodeId>{2}));
+  EXPECT_EQ(d1.edges_added, 2u);  // 2-1 (distance 0.2) and 2-0 (0.9)
+  EXPECT_TRUE(g.resident(2));
+  EXPECT_EQ(g.resident_count(), 3u);
+  EXPECT_EQ(vec(g.neighbors(1)), (std::vector<NodeId>{0, 2}));
+
+  // Evict: node 1 leaves the region; its links tear down and the delta
+  // still names it (downstream caches must re-check its neighborhood).
+  nodes[1].pos = {3.5, 1.0};
+  const NodeId moved1[] = {1};
+  const auto& d2 = g.apply(nodes, moved1);
+  EXPECT_EQ(d2.moved, (std::vector<NodeId>{1}));
+  EXPECT_EQ(d2.edges_removed, 2u);
+  EXPECT_FALSE(g.resident(1));
+  EXPECT_TRUE(g.neighbors(1).empty());
+  EXPECT_EQ(vec(g.neighbors(0)), (std::vector<NodeId>{2}));
+
+  // Ignore: a mover that stays outside never touches the delta.
+  nodes[1].pos = {3.8, 1.0};
+  const auto& d3 = g.apply(nodes, moved1);
+  EXPECT_TRUE(d3.empty());
+}
+
+// --- Halo residency --------------------------------------------------------
+
+TEST(ShardedEngineTest, HaloCoversEveryOwnedNeighborhood) {
+  sim::Xoshiro256 rng(21);
+  const std::vector<Node> nodes =
+      generate_deployment(small_deploy(), rng);
+  const DynamicDiskGraph whole{std::vector<Node>(nodes)};
+  sim::ThreadPool pool(1);
+  const ShardedEngine engine{std::vector<Node>(nodes), pool,
+                             sharded(4, 12.5)};
+  ASSERT_EQ(engine.shard_count(), 4u);
+  EXPECT_EQ(engine.rows() * engine.cols(), 4u);
+
+  std::size_t owned_total = 0;
+  for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+    owned_total += engine.owned_count(s);
+  }
+  EXPECT_EQ(owned_total, nodes.size());
+
+  for (NodeId u = 0; u < whole.size(); ++u) {
+    const std::uint32_t s = engine.owner_of(u);
+    const DynamicDiskGraph& g = engine.shard_graph(s);
+    ASSERT_TRUE(g.resident(u)) << "owned node not resident, node " << u;
+    const auto got = g.neighbors(u);
+    const auto want = whole.neighbors(u);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+        << "owned adjacency differs from whole-plane at node " << u;
+  }
+  EXPECT_GT(engine.halo_fraction(), 0.0);
+}
+
+// --- Migration -------------------------------------------------------------
+
+TEST(ShardedEngineTest, BorderCrossingMigratesOwnership) {
+  // Two tiles side by side on [0,4]x[0,4]; margin = max radius = 1.
+  std::vector<Node> nodes{{0, {1.9, 2.0}, 1.0},
+                          {1, {0.9, 2.0}, 1.0},
+                          {2, {3.2, 2.0}, 1.0}};
+  sim::ThreadPool pool(1);
+  ShardedEngine engine{std::vector<Node>(nodes), pool, sharded(2, 4.0)};
+  ASSERT_EQ(engine.shard_count(), 2u);
+  EXPECT_EQ(engine.owner_of(0), 0u);
+  // Node 0 sits in tile 0's interior but inside tile 1's halo band.
+  EXPECT_TRUE(engine.shard_graph(1).resident(0));
+  EXPECT_EQ(engine.halo_count(1), 1u);
+
+  // Cross the border: ownership migrates 0 -> 1, both shards keep exact
+  // adjacency for their owned nodes.
+  nodes[0].pos = {2.1, 2.0};
+  const NodeId moved[] = {0};
+  engine.step(nodes, moved);
+  EXPECT_EQ(engine.owner_of(0), 1u);
+  EXPECT_EQ(vec(engine.migrated_last_step()), (std::vector<NodeId>{0}));
+  EXPECT_EQ(engine.migration_count(), 1u);
+  EXPECT_TRUE(engine.shard_graph(1).neighbors(0).empty());
+  EXPECT_EQ(engine.shard_delta(1).edges_removed, 0u);
+
+  // Keep walking right, beyond tile 0's halo band: shard 0 evicts it.
+  nodes[0].pos = {3.5, 2.0};
+  engine.step(nodes, moved);
+  EXPECT_TRUE(engine.migrated_last_step().empty());
+  EXPECT_FALSE(engine.shard_graph(0).resident(0));
+  EXPECT_TRUE(engine.shard_graph(0).neighbors(0).empty());
+  EXPECT_EQ(vec(engine.shard_graph(1).neighbors(2)),
+            (std::vector<NodeId>{0}));
+  EXPECT_EQ(vec(engine.shard_graph(1).neighbors(0)),
+            (std::vector<NodeId>{2}));
+}
+
+// --- Differential vs the single engine -------------------------------------
+
+struct Regime {
+  const char* name;
+  WaypointParams wp;
+};
+
+std::vector<Regime> regimes() {
+  Regime quasi{"quasi_static", {}};
+  quasi.wp.v_min = 0.02;
+  quasi.wp.v_max = 0.1;
+  quasi.wp.pause = 50.0;
+  quasi.wp.max_leg = 1.0;
+  Regime moderate{"moderate", {}};
+  moderate.wp.v_min = 0.1;
+  moderate.wp.v_max = 0.5;
+  moderate.wp.pause = 2.0;
+  Regime storm{"high_speed", {}};
+  storm.wp.v_min = 0.5;
+  storm.wp.v_max = 1.5;
+  storm.wp.pause = 0.0;
+  return {quasi, moderate, storm};
+}
+
+/// Drive `steps` mobility steps comparing the sharded cache against the
+/// single-engine SkylineCache relay by relay, every step.
+void expect_bit_identical_run(std::uint64_t seed, const WaypointParams& wp,
+                              std::size_t shards, std::size_t steps,
+                              const char* regime) {
+  const double side = 12.5;
+  DeploymentParams dp = small_deploy();
+  sim::Xoshiro256 rng(seed);
+  MobileNetwork net(dp, wp, rng);
+
+  sim::ThreadPool pool(2);
+  DynamicDiskGraph whole{std::vector<Node>(net.nodes())};
+  bcast::SkylineCache single(whole, pool);
+  ShardedEngine engine{std::vector<Node>(net.nodes()), pool,
+                       sharded(shards, side)};
+  bcast::ShardedSkylineCache cache(engine);
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    net.step(0.5, rng);
+    const auto moved = net.moved_last_step();
+    single.update(whole.apply(net.nodes(), moved));
+    cache.step(net.nodes(), moved);
+
+    for (NodeId u = 0; u < whole.size(); ++u) {
+      const auto got = cache.forwarding_set(u);
+      const auto want = single.forwarding_set(u);
+      ASSERT_TRUE(
+          std::equal(got.begin(), got.end(), want.begin(), want.end()))
+          << regime << " seed " << seed << " shards " << shards << " step "
+          << k << ": forwarding set mismatch at relay " << u;
+      ASSERT_EQ(cache.arc_count(u), single.arc_count(u))
+          << regime << " step " << k << " relay " << u;
+    }
+  }
+  EXPECT_EQ(cache.total_forwarders(), single.total_forwarders());
+  EXPECT_EQ(cache.update_count(), steps);
+}
+
+TEST(ShardedEngineTest, BitIdenticalAcrossShardCounts) {
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    expect_bit_identical_run(101, regimes()[1].wp, shards, 12, "moderate");
+  }
+}
+
+TEST(ShardedEngineTest, LongRunDifferentialAcrossRegimesAndSeeds) {
+  for (const Regime& regime : regimes()) {
+    for (const std::uint64_t seed : {7ull, 23ull}) {
+      expect_bit_identical_run(seed, regime.wp, 4, 30, regime.name);
+    }
+  }
+}
+
+// --- Events ----------------------------------------------------------------
+
+TEST(ShardedEngineTest, EmitsShardExchangeWithCacheUpdateChild) {
+  sim::Xoshiro256 rng(31);
+  DeploymentParams dp = small_deploy(6.0);
+  MobileNetwork net(dp, regimes()[1].wp, rng);
+  sim::ThreadPool pool(1);
+  ShardedEngine engine{std::vector<Node>(net.nodes()), pool,
+                       sharded(4, 12.5)};
+  bcast::ShardedSkylineCache cache(engine);
+
+  obs::events_clear();
+  obs::events_start();
+  net.step(0.5, rng);
+  cache.step(net.nodes(), net.moved_last_step());
+  obs::events_stop();
+
+  const auto events = obs::events_snapshot();
+  std::size_t exchanges = 0;
+  bool cache_linked = false;
+  for (const obs::Event& e : events) {
+    if (e.type == obs::EventType::kShardExchange) {
+      ++exchanges;
+      EXPECT_EQ(e.id, engine.last_event());
+      EXPECT_EQ(e.value, engine.step_count());
+    }
+    if (e.type == obs::EventType::kCacheUpdate &&
+        e.parent == engine.last_event()) {
+      cache_linked = true;
+      EXPECT_EQ(e.id, cache.last_update_event());
+    }
+    // Region-mode shard graphs must not emit per-shard kStep events.
+    EXPECT_NE(e.type, obs::EventType::kStep);
+  }
+  EXPECT_EQ(exchanges, 1u);
+  EXPECT_TRUE(cache_linked);
+  obs::events_clear();
+}
+
+// --- Watchdog --------------------------------------------------------------
+
+TEST(ShardedEngineTest, WatchdogCatchesInjectedShardCorruption) {
+  sim::Xoshiro256 rng(41);
+  DeploymentParams dp = small_deploy(6.0);
+  MobileNetwork net(dp, regimes()[0].wp, rng);
+  sim::ThreadPool pool(1);
+  ShardedEngine engine{std::vector<Node>(net.nodes()), pool,
+                       sharded(4, 12.5)};
+  bcast::ShardedSkylineCache cache(engine);
+
+  obs::ConsistencyWatchdog::Config wc;
+  wc.period = 1;
+  wc.samples = static_cast<std::uint32_t>(engine.size());
+  auto wd = bcast::make_cache_watchdog(cache, wc);
+
+  for (int k = 0; k < 4; ++k) {
+    net.step(0.5, rng);
+    cache.step(net.nodes(), net.moved_last_step());
+    EXPECT_TRUE(wd.on_step(cache.last_update_event()));
+  }
+  EXPECT_TRUE(wd.clean());
+
+  // Find a relay with a non-trivial set and corrupt its owner's slot.
+  NodeId victim = kNoNode;
+  for (NodeId u = 0; u < engine.size(); ++u) {
+    if (!cache.forwarding_set(u).empty()) {
+      victim = u;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoNode);
+  cache.corrupt_slot_for_testing(victim);
+  EXPECT_FALSE(wd.check_now(cache.last_update_event()));
+  EXPECT_FALSE(wd.clean());
+  EXPECT_EQ(wd.last_mismatched_relays().size(), 1u);
+  EXPECT_EQ(wd.last_mismatched_relays()[0], victim);
+}
+
+}  // namespace
+}  // namespace mldcs::net

@@ -1,0 +1,142 @@
+// Runtime verification of the sharded hot loop's MLDCS_HOT_PATH /
+// MLDCS_NO_LOCK annotations, compiled into the hot_path_guard_test
+// binary (which owns the alloc/lock interposers).  A one-worker pool
+// runs parallel_chunks inline on the caller thread — zero submit traffic,
+// zero latch — so the interposer counters see exactly what one shard's
+// step executes: the region-graph apply, the dirty rule, and the
+// recompute/store path.  After warm-up, hover steps (a full mover hint
+// at unchanged positions, the worst case for the classify/rebucket/drift
+// machinery) must allocate nothing; steps with real motion must still
+// take no mutex, which is the "zero cross-shard locking" claim made
+// observable.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "broadcast/sharded_cache.hpp"
+#include "net/mobility.hpp"
+#include "net/sharded_engine.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+#include "support/alloc_guard.hpp"
+#include "support/lock_guard.hpp"
+
+namespace mldcs::net {
+namespace {
+
+using test::AllocGuard;
+using test::LockGuard;
+
+struct ShardedFixture {
+  sim::Xoshiro256 rng{0xCAFE5ULL};
+  DeploymentParams p;
+  WaypointParams wp;
+  net::MobileNetwork mobile;
+  sim::ThreadPool pool{1};
+  ShardedEngine engine;
+  bcast::ShardedSkylineCache cache;
+
+  static DeploymentParams params() {
+    DeploymentParams p;
+    p.model = RadiusModel::kUniform;
+    p.target_avg_degree = 8.0;
+    return p;
+  }
+  static WaypointParams motion() {
+    WaypointParams wp;
+    wp.v_min = 0.05;
+    wp.v_max = 0.2;
+    wp.pause = 1.0;
+    return wp;
+  }
+  static ShardedEngine::Config config() {
+    ShardedEngine::Config c;
+    c.shards = 4;
+    c.deployment = {{0.0, 0.0}, {12.5, 12.5}};
+    return c;
+  }
+
+  ShardedFixture()
+      : p(params()),
+        wp(motion()),
+        mobile(p, wp, rng),
+        engine(std::vector<Node>(mobile.nodes().begin(),
+                                 mobile.nodes().end()),
+               pool, config()),
+        cache(engine) {}
+
+  void warm(int steps) {
+    // Real motion: grows every scratch high-water mark (grid queries,
+    // skyline workspaces, slot stores) and performs the once-per-process
+    // telemetry registrations.
+    for (int i = 0; i < steps; ++i) {
+      mobile.step(1.0, rng);
+      cache.step(mobile.nodes(), mobile.moved_last_step());
+    }
+  }
+
+  std::vector<NodeId> all_ids() const {
+    std::vector<NodeId> ids(engine.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = static_cast<NodeId>(i);
+    }
+    return ids;
+  }
+};
+
+TEST(ShardedHotPath, HoverStepsSteadyStateAllocFree) {
+  if (!test::alloc_probe_active()) GTEST_SKIP() << "allocator owned by ASan";
+  ShardedFixture f;
+  f.warm(8);
+  // Hover: every node hinted as moved, nobody actually moved.  The step
+  // still classifies all movers, rebuckets them, re-derives adjacency,
+  // and runs the drift gate for each — with nothing dirty, nothing may
+  // allocate.
+  const std::vector<Node> frozen(f.mobile.nodes().begin(),
+                                 f.mobile.nodes().end());
+  const std::vector<NodeId> hint = f.all_ids();
+  f.cache.step(frozen, hint);  // warm the hover path's own high-water mark
+
+  AllocGuard guard;
+  for (int i = 0; i < 20; ++i) {
+    f.cache.step(frozen, hint);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "MLDCS_HOT_PATH contract: a warmed sharded step with no dirty "
+         "relays must not allocate";
+  EXPECT_EQ(f.cache.last_dirty_count(), 0u);
+}
+
+TEST(ShardedHotPath, RealMotionStepsTakeNoMutex) {
+  if (!test::lock_probe_active()) GTEST_SKIP() << "pthreads owned by TSan";
+  ShardedFixture f;
+  f.warm(8);
+
+  LockGuard guard;
+  for (int i = 0; i < 20; ++i) {
+    f.mobile.step(1.0, f.rng);
+    f.cache.step(f.mobile.nodes(), f.mobile.moved_last_step());
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "MLDCS_NO_LOCK contract: shard updates synchronize only at the "
+         "pool barrier (inline at one worker) — no mutex in the loop";
+  EXPECT_GT(f.cache.recompute_count(), 0u);
+}
+
+// The cold path must register on the probe, or the zeros above are
+// meaningless: constructing the engine + cache performs the full-sweep
+// recomputation and every initial store growth.
+TEST(ShardedHotPath, ColdConstructionAllocatesAndGuardSeesIt) {
+  if (!test::alloc_probe_active()) GTEST_SKIP() << "allocator owned by ASan";
+  AllocGuard guard;
+  ShardedFixture f;
+  EXPECT_GT(guard.count(), 0u)
+      << "cold construction must grow scratch (otherwise the probe is "
+         "dead)";
+}
+
+}  // namespace
+}  // namespace mldcs::net

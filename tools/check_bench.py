@@ -20,6 +20,14 @@ of the single_relay_skyline section (matched by n_disks):
     speedup must stay >= 1.0 (the wide path must never be slower than
     the pinned scalar reference it is bit-identical to).
 
+  * sharded scaling regression, from the sharded_mobility section: per
+    deployment size, speedup_vs_1_shard at the top shard count must not
+    drop more than 20% below the last valid BENCH_history.jsonl entry
+    (or the baseline's own summary when no history is given).  Hosts
+    with fewer cores than the top shard count are skipped — there the
+    curve measures oversubscription, not scaling (the provenance's
+    hardware_concurrency field says which reading applies).
+
 A missing or renamed section/field (e.g. a fresh run produced with
 `perf_suite --section ...`, or an older baseline from before a schema
 addition) is a named WARNING, not a failure: the comparison that cannot
@@ -53,6 +61,9 @@ import obslib
 
 MAX_SLOWDOWN = 3.0
 MIN_SIMD_SPEEDUP = 1.0
+#: Allowed fractional drop in sharded speedup_vs_1_shard at the top shard
+#: count before the scaling gate fails (0.2 = 20%).
+MAX_SHARDED_SPEEDUP_DROP = 0.2
 
 #: Top-level keys of an mldcs-perf-v1 document that are not sections.
 ENVELOPE_KEYS = frozenset({"schema", "mode", "threads", "provenance"})
@@ -220,11 +231,10 @@ def flatten_strings(summary, prefix=""):
             yield name, val
 
 
-def update_history(path, fresh_doc, fresh_path):
-    """Append the fresh run's summary to the history file and print
-    deltas against the previous entry.  History problems are warnings:
-    a corrupt longitudinal record must not gate the current run."""
-    summary = obslib.bench_summary(fresh_doc)
+def read_history_previous(path):
+    """Return the last valid history entry, or None.  History problems
+    are warnings: a corrupt longitudinal record must not gate the
+    current run."""
     previous = None
     try:
         with open(path, encoding="utf-8") as f:
@@ -247,7 +257,69 @@ def update_history(path, fresh_doc, fresh_path):
         pass
     except OSError as e:
         warn(f"cannot read {path}: {e}")
+    return previous
 
+
+def check_sharded_scaling(fresh_doc, fresh_path, reference, ref_label):
+    """Gate sharded_mobility scaling against a reference summary.
+
+    `reference` is a bench_summary-shaped dict — the last valid
+    BENCH_history.jsonl entry when a history file is given, else the
+    baseline document's own summary.  Per deployment size, the fresh
+    speedup_vs_1_shard at the top shard count must not drop more than
+    MAX_SHARDED_SPEEDUP_DROP below the reference.  Sizes the reference
+    never measured, or a host with fewer cores than the top shard count
+    (where the curve measures oversubscription, not scaling — see
+    provenance.hardware_concurrency), are skipped with a warning.
+    """
+    failures = []
+    summary = obslib.bench_summary(fresh_doc)
+    fresh_speedups = summary.get("sharded_speedup_vs_1_shard")
+    if not isinstance(fresh_speedups, dict) or not fresh_speedups:
+        warn(f"{fresh_path}: section 'sharded_mobility' missing or empty; "
+             "skipping sharded scaling gate")
+        return failures
+    top_shards = summary.get("sharded_top_shards", {})
+    prov = fresh_doc.get("provenance")
+    hw = (prov.get("hardware_concurrency")
+          if isinstance(prov, dict) else None)
+    ref_speedups = {}
+    if isinstance(reference, dict):
+        raw = reference.get("sharded_speedup_vs_1_shard")
+        if isinstance(raw, dict):
+            # History entries round-trip through JSON, where int keys
+            # become strings; normalize both sides.
+            ref_speedups = {str(k): v for k, v in raw.items()}
+    for nodes, speedup in sorted(fresh_speedups.items(),
+                                 key=lambda kv: str(kv[0])):
+        shards = top_shards.get(nodes)
+        if isinstance(hw, (int, float)) and isinstance(shards, (int, float)) \
+                and hw < shards:
+            print(f"  sharded n={nodes}: {speedup:.2f}x at {shards} shards "
+                  f"[skipped: host has {int(hw)} core(s)]")
+            continue
+        prev = ref_speedups.get(str(nodes))
+        if not isinstance(prev, (int, float)) or prev <= 0:
+            warn(f"sharded n={nodes}: no reference speedup in {ref_label}; "
+                 "skipping")
+            continue
+        floor = prev * (1.0 - MAX_SHARDED_SPEEDUP_DROP)
+        status = "ok"
+        if speedup < floor:
+            failures.append(
+                f"sharded n={nodes}: speedup_vs_1_shard at {shards} shards "
+                f"dropped {prev:.2f}x -> {speedup:.2f}x (gate: >= "
+                f"{floor:.2f}x, {ref_label})")
+            status = "FAIL"
+        print(f"  sharded n={nodes}: {speedup:.2f}x at {shards} shards "
+              f"(reference {prev:.2f}x) [{status}]")
+    return failures
+
+
+def update_history(path, fresh_doc, fresh_path, previous):
+    """Append the fresh run's summary to the history file and print
+    deltas against `previous` (the last valid entry, already read)."""
+    summary = obslib.bench_summary(fresh_doc)
     entry = {"source": fresh_path, **summary}
     try:
         obslib.check_history_entry(entry, fresh_path)
@@ -337,8 +409,17 @@ def main():
 
     failures += check_simd_dispatch(fresh_doc, args.fresh)
 
+    previous = read_history_previous(args.history) if args.history else None
+    if previous is not None:
+        reference, ref_label = previous, f"history {args.history}"
+    else:
+        reference = obslib.bench_summary(baseline_doc)
+        ref_label = f"baseline {args.baseline}"
+    failures += check_sharded_scaling(fresh_doc, args.fresh, reference,
+                                      ref_label)
+
     if args.history:
-        update_history(args.history, fresh_doc, args.fresh)
+        update_history(args.history, fresh_doc, args.fresh, previous)
 
     if failures:
         print("check_bench: REGRESSION", file=sys.stderr)

@@ -26,6 +26,7 @@ PERF_SCHEMA = "mldcs-perf-v1"
 EVENT_TYPES = frozenset({
     "broadcast", "tx", "rx", "dup_rx", "designate", "suppress",
     "step", "cache_update", "watchdog_check", "watchdog_mismatch",
+    "shard_exchange",
 })
 
 
@@ -246,6 +247,33 @@ def bench_summary(doc):
         if best is not None:
             out["best_thread_speedup"] = best["speedup_vs_1_thread"]
             out["best_thread_count"] = best.get("threads")
+
+    sharded = doc.get("sharded_mobility")
+    if isinstance(sharded, list) and sharded:
+        # One headline per deployment size: the entry at the top shard
+        # count, whose speedup_vs_1_shard is what the scaling gate tracks.
+        top = {}
+        for e in sharded:
+            if (not isinstance(e, dict) or "nodes" not in e
+                    or "shards" not in e):
+                continue
+            cur = top.get(e["nodes"])
+            if cur is None or e["shards"] > cur["shards"]:
+                top[e["nodes"]] = e
+        speedups = {n: e["speedup_vs_1_shard"] for n, e in top.items()
+                    if "speedup_vs_1_shard" in e}
+        if speedups:
+            out["sharded_speedup_vs_1_shard"] = speedups
+            out["sharded_top_shards"] = {n: e["shards"]
+                                         for n, e in top.items()}
+        relays = {n: e["relays_per_s"] for n, e in top.items()
+                  if "relays_per_s" in e}
+        if relays:
+            out["sharded_relays_per_s"] = relays
+        halos = {n: e["halo_fraction"] for n, e in top.items()
+                 if "halo_fraction" in e}
+        if halos:
+            out["sharded_halo_fraction"] = halos
 
     mob = doc.get("mobility_steady_state")
     if isinstance(mob, list) and mob:
