@@ -40,6 +40,7 @@
 /// Usage: perf_suite [--quick] [--threads N] [--out PATH]
 ///                   [--list-sections] [--section NAME]...
 ///                   [--trace PATH] [--telemetry PATH] [--events PATH]
+///                   [--introspect PORT] [--blackbox PATH]
 ///
 /// --section restricts the run to the named section(s); skipped sections
 /// are simply absent from the JSON (tools/check_bench.py warns and moves
@@ -48,6 +49,13 @@
 /// flight recorder and writes an mldcs-events-v1 JSONL log — arming it
 /// perturbs the mobility timings, so use it for forensics runs, not for
 /// regenerating BENCH_skyline.json (docs/OBSERVABILITY.md).
+///
+/// --introspect PORT serves /metrics, /snapshot.json, /events, /shards,
+/// and /healthz live on 127.0.0.1:PORT while sections run; --blackbox
+/// PATH arms the obs/blackbox.hpp flight recorder with one heartbeat per
+/// section boundary and writes a mldcs-blackbox-v1 report on crash or
+/// exit.  Both are recorded in the provenance block ("introspect",
+/// "blackbox") since an attached observer can perturb timings.
 
 #include <algorithm>
 #include <atomic>
@@ -75,8 +83,10 @@
 #include "net/mobility.hpp"
 #include "net/sharded_engine.hpp"
 #include "net/topology.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/event_log.hpp"
 #include "obs/export.hpp"
+#include "obs/introspect.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
@@ -244,6 +254,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string telemetry_path;
   std::string events_path;
+  std::string blackbox_path;
+  int introspect_port = -1;  // -1: server off; 0: ephemeral
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -259,6 +271,14 @@ int main(int argc, char** argv) {
       telemetry_path = argv[++i];
     } else if (arg == "--events" && i + 1 < argc) {
       events_path = argv[++i];
+    } else if (arg == "--blackbox" && i + 1 < argc) {
+      blackbox_path = argv[++i];
+    } else if (arg == "--introspect" && i + 1 < argc) {
+      introspect_port = std::atoi(argv[++i]);
+      if (introspect_port < 0 || introspect_port > 65535) {
+        std::cerr << "error: --introspect expects a port in [0, 65535]\n";
+        return 2;
+      }
     } else if (arg == "--section" && i + 1 < argc) {
       sections.emplace_back(argv[++i]);
       if (!known_section(sections.back())) {
@@ -273,19 +293,60 @@ int main(int argc, char** argv) {
       std::cerr << "usage: perf_suite [--quick] [--threads N] [--out PATH]\n"
                    "                  [--list-sections] [--section NAME]...\n"
                    "                  [--trace PATH] [--telemetry PATH]\n"
-                   "                  [--events PATH]\n";
+                   "                  [--events PATH] [--introspect PORT]\n"
+                   "                  [--blackbox PATH]\n";
       return 2;
     }
   }
   const double budget_ns = quick ? 3e7 : 3e8;
-  // No --section flags = run everything.
-  const auto run_section = [&sections](const char* name) {
-    return sections.empty() ||
-           std::find(sections.begin(), sections.end(), name) !=
-               sections.end();
+  // No --section flags = run everything.  Each section that runs opens a
+  // blackbox heartbeat frame (a no-op when the recorder is disarmed), so
+  // a crash dump pins down which section was in flight.
+  std::uint64_t section_no = 0;
+  const auto run_section = [&sections, &section_no](const char* name) {
+    const bool run =
+        sections.empty() ||
+        std::find(sections.begin(), sections.end(), name) != sections.end();
+    if (run) obs::blackbox_heartbeat(++section_no);
+    return run;
   };
   if (!trace_path.empty()) obs::trace_start();
-  if (!events_path.empty()) obs::events_start();
+  if (!events_path.empty() || !blackbox_path.empty() || introspect_port >= 0) {
+    obs::events_start();
+  }
+
+  std::string blackbox_note = "off";
+  if (!blackbox_path.empty()) {
+    obs::BlackBoxConfig bb;
+    bb.path = blackbox_path.c_str();
+    if (!obs::blackbox_arm(bb)) {
+      if constexpr (!obs::kTelemetryEnabled) {
+        std::cerr << "note: --blackbox ignored (built with "
+                     "MLDCS_ENABLE_TELEMETRY=OFF)\n";
+      } else {
+        std::cerr << "error: cannot arm blackbox at " << blackbox_path
+                  << "\n";
+        return 1;
+      }
+    } else {
+      blackbox_note = blackbox_path;
+    }
+  }
+  obs::IntrospectServer introspect;
+  std::string introspect_note = "off";
+  if (introspect_port >= 0) {
+    obs::IntrospectServer::Options opt;
+    opt.port = static_cast<std::uint16_t>(introspect_port);
+    std::string err;
+    if (!introspect.start(opt, &err)) {
+      std::cerr << "error: cannot start introspection server: " << err
+                << "\n";
+      return 1;
+    }
+    introspect_note = "on:" + std::to_string(introspect.port());
+    std::cout << "introspection server listening on 127.0.0.1:"
+              << introspect.port() << "\n";
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -315,6 +376,10 @@ int main(int argc, char** argv) {
   // 1.0x curve on a 1-core host is physics, on a 16-core host a bug.
   j.field("hardware_concurrency",
           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  // An attached observer (live endpoint polls, heartbeat snapshots) can
+  // perturb timings, so its presence is provenance, like the dispatch.
+  j.field("introspect", introspect_note);
+  j.field("blackbox", blackbox_note);
   j.close_obj();
   std::cout << "  provenance: " << compiler_id() << "; simd dispatch "
             << geom::simd::dispatch_choice() << " (detected "
@@ -869,6 +934,19 @@ int main(int argc, char** argv) {
   out << "\n";
   out.close();
   std::cout << "[OK] wrote " << out_path << "\n";
+
+  if (introspect.running()) {
+    std::cout << "[OK] introspection server served " << introspect.requests()
+              << " request(s)\n";
+    introspect.stop();
+  }
+  if (obs::blackbox_armed()) {
+    obs::blackbox_heartbeat(++section_no);  // final frame: end-of-run state
+    if (obs::blackbox_dump_now("exit")) {
+      std::cout << "[OK] wrote blackbox report to " << blackbox_path << "\n";
+    }
+    obs::blackbox_disarm();
+  }
 
   if (!trace_path.empty()) {
     obs::trace_stop();

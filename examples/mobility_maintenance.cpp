@@ -20,6 +20,8 @@
 /// Usage: mobility_maintenance [periods] [speed] [seed]
 ///                              [--trace PATH] [--telemetry PATH]
 ///                              [--events PATH] [--watchdog K,M]
+///                              [--shards N] [--introspect PORT]
+///                              [--blackbox PATH]
 ///
 /// --trace records the run as chrome://tracing trace events (graph.apply /
 /// cache.update spans per period); --telemetry dumps the process-wide
@@ -32,7 +34,22 @@
 /// randomly sampled relays are recomputed from scratch and compared
 /// against the cached forwarding sets (obs/watchdog.hpp); the verdict is
 /// printed at the end and any mismatch makes the run exit 1.
+///
+/// --shards N maintains the topology through the spatially sharded engine
+/// (net::ShardedEngine + bcast::ShardedSkylineCache) instead of the single
+/// DynamicDiskGraph — bit-identical forwarding sets, and the per-shard
+/// load table becomes visible to the observability surfaces below.
+///
+/// --introspect PORT serves live introspection on 127.0.0.1:PORT (0 picks
+/// an ephemeral port, printed at startup): /metrics, /snapshot.json,
+/// /events?tail=N, /shards, /healthz (poll with curl, Prometheus, or
+/// tools/mldcs_top.py).  --blackbox PATH arms the flight recorder: one
+/// heartbeat frame per period into a crash-safe ring, dumped to PATH as a
+/// mldcs-blackbox-v1 report on SIGSEGV/SIGABRT/SIGBUS, on a watchdog
+/// mismatch, and at clean exit (validate with tools/summarize_trace.py
+/// --blackbox PATH).
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -44,13 +61,17 @@
 #include "broadcast/all_skylines.hpp"
 #include "broadcast/cache_watchdog.hpp"
 #include "broadcast/forwarding.hpp"
+#include "broadcast/sharded_cache.hpp"
 #include "broadcast/skyline_cache.hpp"
 #include "net/dynamic_disk_graph.hpp"
 #include "net/hello.hpp"
 #include "net/mobility.hpp"
+#include "net/sharded_engine.hpp"
 #include "net/topology.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/event_log.hpp"
 #include "obs/export.hpp"
+#include "obs/introspect.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
@@ -74,6 +95,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string telemetry_path;
   std::string events_path;
+  std::string blackbox_path;
+  int introspect_port = -1;  // -1: server off; 0: ephemeral
+  std::size_t shards = 1;
   std::uint32_t wd_period = 0;  // 0: watchdog off
   std::uint32_t wd_samples = 8;
   std::vector<std::string> pos;
@@ -85,6 +109,21 @@ int main(int argc, char** argv) {
       telemetry_path = argv[++i];
     } else if (arg == "--events" && i + 1 < argc) {
       events_path = argv[++i];
+    } else if (arg == "--blackbox" && i + 1 < argc) {
+      blackbox_path = argv[++i];
+    } else if (arg == "--introspect" && i + 1 < argc) {
+      introspect_port = std::atoi(argv[++i]);
+      if (introspect_port < 0 || introspect_port > 65535) {
+        std::cerr << "error: --introspect expects a port in [0, 65535]\n";
+        return 2;
+      }
+    } else if (arg == "--shards" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::cerr << "error: --shards expects N >= 1\n";
+        return 2;
+      }
+      shards = static_cast<std::size_t>(n);
     } else if (arg == "--watchdog" && i + 1 < argc) {
       const std::string spec = argv[++i];
       const std::size_t comma = spec.find(',');
@@ -104,7 +143,10 @@ int main(int argc, char** argv) {
                    "                            [--trace PATH] "
                    "[--telemetry PATH]\n"
                    "                            [--events PATH] "
-                   "[--watchdog K,M]\n";
+                   "[--watchdog K,M]\n"
+                   "                            [--shards N] "
+                   "[--introspect PORT]\n"
+                   "                            [--blackbox PATH]\n";
       return 2;
     } else {
       pos.push_back(arg);
@@ -117,7 +159,28 @@ int main(int argc, char** argv) {
       pos.size() > 2 ? static_cast<std::uint64_t>(std::atoll(pos[2].c_str()))
                      : 11;
   if (!trace_path.empty()) obs::trace_start();
-  if (!events_path.empty()) obs::events_start();
+  // The flight recorder and the /events endpoint both read the event log;
+  // arm it whenever any consumer is on, not just --events.
+  if (!events_path.empty() || !blackbox_path.empty() || introspect_port >= 0) {
+    obs::events_start();
+  }
+  if (!blackbox_path.empty()) {
+    obs::BlackBoxConfig bb;
+    bb.path = blackbox_path.c_str();
+    if (!obs::blackbox_arm(bb)) {
+      if constexpr (!obs::kTelemetryEnabled) {
+        std::cerr << "note: --blackbox ignored (built with "
+                     "MLDCS_ENABLE_TELEMETRY=OFF)\n";
+      } else {
+        std::cerr << "error: cannot arm blackbox at " << blackbox_path << "\n";
+        return 1;
+      }
+    } else {
+      std::cout << "blackbox armed: " << blackbox_path
+                << " (dumps on SIGSEGV/SIGABRT/SIGBUS, watchdog alarm, "
+                   "exit)\n";
+    }
+  }
 
   net::DeploymentParams p;
   p.model = net::RadiusModel::kUniform;
@@ -130,13 +193,54 @@ int main(int argc, char** argv) {
   net::MobileNetwork mobile(p, wp, rng);
 
   sim::ThreadPool& pool = sim::default_pool();
-  net::DynamicDiskGraph dyn{
-      std::vector<net::Node>(mobile.nodes().begin(), mobile.nodes().end())};
-  bcast::SkylineCache cache(dyn, pool);
+  // Maintenance stack: the single incremental engine, or the spatially
+  // sharded one behind --shards (same forwarding sets, same audit hooks).
+  std::optional<net::DynamicDiskGraph> dyn;
+  std::optional<bcast::SkylineCache> cache;
+  std::optional<net::ShardedEngine> engine;
+  std::optional<bcast::ShardedSkylineCache> sharded_cache;
+  const bool sharded = shards > 1;
+  if (sharded) {
+    net::ShardedEngine::Config cfg;
+    cfg.shards = shards;
+    cfg.deployment = {{0.0, 0.0}, {p.side, p.side}};
+    engine.emplace(
+        std::vector<net::Node>(mobile.nodes().begin(), mobile.nodes().end()),
+        pool, cfg);
+    sharded_cache.emplace(*engine);
+  } else {
+    dyn.emplace(
+        std::vector<net::Node>(mobile.nodes().begin(), mobile.nodes().end()));
+    cache.emplace(*dyn, pool);
+  }
   std::optional<obs::ConsistencyWatchdog> watchdog;
   if (wd_period > 0) {
-    watchdog.emplace(bcast::make_cache_watchdog(
-        dyn, cache, {.period = wd_period, .samples = wd_samples}));
+    const obs::ConsistencyWatchdog::Config wd_cfg{.period = wd_period,
+                                                  .samples = wd_samples};
+    watchdog.emplace(
+        sharded ? bcast::make_cache_watchdog(*sharded_cache, wd_cfg)
+                : bcast::make_cache_watchdog(*dyn, *cache, wd_cfg));
+  }
+
+  // /healthz mirrors the latest watchdog verdict through an atomic (the
+  // server thread must not read watchdog state the main loop is writing).
+  std::atomic<bool> healthy{true};
+  obs::IntrospectServer introspect;
+  if (introspect_port >= 0) {
+    obs::IntrospectServer::Options opt;
+    opt.port = static_cast<std::uint16_t>(introspect_port);
+    std::string err;
+    if (!introspect.start(opt, &err)) {
+      std::cerr << "error: cannot start introspection server: " << err
+                << "\n";
+      return 1;
+    }
+    introspect.set_health([&healthy](std::string&) {
+      return healthy.load(std::memory_order_relaxed);
+    });
+    std::cout << "introspection server listening on 127.0.0.1:"
+              << introspect.port()
+              << " (/metrics /snapshot.json /events /shards /healthz)\n";
   }
 
   std::uint64_t bytes_1hop = 0;
@@ -157,11 +261,22 @@ int main(int argc, char** argv) {
     // Incremental maintenance: diff the moved nodes' links, recompute only
     // the dirtied relays.
     const auto t_inc = std::chrono::steady_clock::now();
-    const auto& delta = dyn.apply(mobile.nodes(), mobile.moved_last_step());
-    cache.update(delta);
-    if (watchdog) watchdog->on_step(cache.last_update_event());
+    if (sharded) {
+      sharded_cache->step(mobile.nodes(), mobile.moved_last_step());
+      if (watchdog) {
+        watchdog->on_step(sharded_cache->last_update_event());
+      }
+    } else {
+      const auto& delta = dyn->apply(mobile.nodes(), mobile.moved_last_step());
+      cache->update(delta);
+      if (watchdog) watchdog->on_step(cache->last_update_event());
+      edge_flips += delta.edges_added + delta.edges_removed;
+    }
+    if (watchdog) {
+      healthy.store(watchdog->clean(), std::memory_order_relaxed);
+    }
     incremental_s += seconds_since(t_inc);
-    edge_flips += delta.edges_added + delta.edges_removed;
+    obs::blackbox_heartbeat(static_cast<std::uint64_t>(t) + 1);
 
     // What a 1-hop-oblivious implementation pays every period instead.
     const auto t_full = std::chrono::steady_clock::now();
@@ -210,18 +325,40 @@ int main(int argc, char** argv) {
                      std::to_string(checks) + " periods"});
   table.print(std::cout);
 
-  const double n = static_cast<double>(dyn.size());
-  const double avg_dirty = periods > 0
-                               ? static_cast<double>(cache.recompute_count()) /
-                                     static_cast<double>(periods)
-                               : 0.0;
+  const std::size_t node_count = mobile.nodes().size();
+  const std::uint64_t recomputes =
+      sharded ? sharded_cache->recompute_count() : cache->recompute_count();
+  std::uint64_t compactions = 0;
+  if (sharded) {
+    for (std::size_t s = 0; s < engine->shard_count(); ++s) {
+      compactions += sharded_cache->shard(s).compaction_count();
+    }
+  } else {
+    compactions = cache->compaction_count();
+  }
+  const double n = static_cast<double>(node_count);
+  const double avg_dirty =
+      periods > 0 ? static_cast<double>(recomputes) /
+                        static_cast<double>(periods)
+                  : 0.0;
   std::cout << "\nincremental maintenance over " << periods << " periods ("
-            << dyn.size() << " nodes):\n"
-            << "  edge flips:          " << edge_flips << "\n"
-            << "  relays recomputed:   " << cache.recompute_count() << " (avg "
+            << node_count << " nodes"
+            << (sharded ? ", " + std::to_string(engine->shard_count()) +
+                              " shards"
+                        : std::string())
+            << "):\n";
+  if (!sharded) {
+    std::cout << "  edge flips:          " << edge_flips << "\n";
+  } else {
+    std::cout << "  border migrations:   " << engine->migration_count()
+              << "\n"
+              << "  halo fraction:       "
+              << sim::format_double(engine->halo_fraction(), 3) << "\n";
+  }
+  std::cout << "  relays recomputed:   " << recomputes << " (avg "
             << sim::format_double(avg_dirty, 1) << "/period, "
             << sim::format_double(100.0 * avg_dirty / n, 1) << "% of nodes)\n"
-            << "  store compactions:   " << cache.compaction_count() << "\n"
+            << "  store compactions:   " << compactions << "\n"
             << "  incremental step:    "
             << sim::format_double(1e3 * incremental_s / periods, 3)
             << " ms/period\n"
@@ -258,6 +395,23 @@ int main(int argc, char** argv) {
       }
       std::cout << ")\n";
     }
+  }
+
+  if (introspect.running()) {
+    std::cout << "\nintrospection server served " << introspect.requests()
+              << " request(s)\n";
+    introspect.stop();
+  }
+  if (obs::blackbox_armed()) {
+    // A clean exit still leaves a report behind — the same file a crash
+    // would have produced, so pipelines validate one artifact either way.
+    if (obs::blackbox_dump_now("exit")) {
+      std::cout << "wrote blackbox report to " << blackbox_path << " ("
+                << obs::blackbox_heartbeat_count()
+                << " heartbeats recorded; validate with "
+                   "tools/summarize_trace.py --blackbox)\n";
+    }
+    obs::blackbox_disarm();
   }
 
   if (!events_path.empty()) {

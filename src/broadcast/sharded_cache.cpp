@@ -168,6 +168,10 @@ MLDCS_ALLOC_OK void ShardCache::compact() {
 ShardedSkylineCache::ShardedSkylineCache(net::ShardedEngine& engine,
                                          Config config)
     : engine_(&engine) {
+  // Eager registration (the PR 4 thread-pool fix): materialize the cache.*
+  // series now, so a /snapshot.json taken before the first step already
+  // carries them instead of waiting for the first recompute to land.
+  sharded_cache_telemetry();
   const std::size_t shards = engine.shard_count();
   shards_.resize(shards);
   engine.pool().parallel_for(shards, [&](std::size_t s) {
@@ -177,6 +181,9 @@ ShardedSkylineCache::ShardedSkylineCache(net::ShardedEngine& engine,
   });
   engine.set_shard_hook([this](std::size_t s) {
     shards_[s]->update(engine_->shard_delta(s), engine_->migrated_last_step());
+    // Feed the observer load table (introspection /shards, blackbox
+    // heartbeats) — one relaxed store into shard s's own slot.
+    engine_->publish_shard_dirty(s, shards_[s]->last_dirty().size());
   });
 }
 

@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/shard_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -125,7 +126,39 @@ ShardedEngine::ShardedEngine(std::vector<Node> nodes, sim::ThreadPool& pool,
         tile.inflated(max_radius_));
   });
 
-  shard_telemetry().count.set(static_cast<std::int64_t>(shards));
+  // Eager registration: touching shard_telemetry() here materializes every
+  // shard.* series, so a /snapshot.json taken before the first step already
+  // carries them (same fix PR 4 applied to the thread pool's pool.*).
+  ShardTelemetry& t = shard_telemetry();
+  t.count.set(static_cast<std::int64_t>(shards));
+
+  // Load slots observers read (obs/shard_stats.hpp): seeded with the
+  // initial ownership split so `/shards` is meaningful before step one.
+  load_ = std::make_unique<ShardLoad[]>(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    load_[s].owned.store(owned_count_[s], std::memory_order_relaxed);
+    load_[s].halo.store(halo_count(s), std::memory_order_relaxed);
+  }
+  obs::set_shard_stats_provider(
+      this, [this](std::vector<obs::ShardStat>& out) {
+        const std::size_t count = shards_.size();
+        out.reserve(count);
+        for (std::size_t s = 0; s < count; ++s) {
+          const ShardLoad& l = load_[s];
+          out.push_back({static_cast<std::uint32_t>(s),
+                         l.owned.load(std::memory_order_relaxed),
+                         l.halo.load(std::memory_order_relaxed),
+                         l.incoming.load(std::memory_order_relaxed),
+                         l.dirty.load(std::memory_order_relaxed),
+                         l.step_ns.load(std::memory_order_relaxed),
+                         l.barrier_wait_ns.load(std::memory_order_relaxed)});
+        }
+        return published_step_.load(std::memory_order_acquire);
+      });
+}
+
+ShardedEngine::~ShardedEngine() {
+  obs::clear_shard_stats_provider(this);
 }
 
 std::uint32_t ShardedEngine::tile_of(geom::Vec2 p) const noexcept {
@@ -217,10 +250,23 @@ MLDCS_HOT_PATH void ShardedEngine::step(std::span<const Node> current,
   t.exchanged.add(exchanged);
   t.migrations.add(migrated_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    t.halo_nodes.record(halo_count(s));
-    t.incoming.record(shards_[s]->incoming.size());
-    t.barrier_wait_ns.record(slowest - shards_[s]->step_ns);
+    const std::uint64_t halo = halo_count(s);
+    const std::uint64_t incoming = shards_[s]->incoming.size();
+    const std::uint64_t wait = slowest - shards_[s]->step_ns;
+    t.halo_nodes.record(halo);
+    t.incoming.record(incoming);
+    t.barrier_wait_ns.record(wait);
+    // Observer load slots (read by /shards and heartbeat frames): relaxed
+    // stores only — nothing added to the hot path beyond what the metric
+    // records above already cost.
+    ShardLoad& l = load_[s];
+    l.owned.store(owned_count_[s], std::memory_order_relaxed);
+    l.halo.store(halo, std::memory_order_relaxed);
+    l.incoming.store(incoming, std::memory_order_relaxed);
+    l.step_ns.store(shards_[s]->step_ns, std::memory_order_relaxed);
+    l.barrier_wait_ns.store(wait, std::memory_order_relaxed);
   }
+  published_step_.store(steps_, std::memory_order_release);
 
   last_event_ = obs::emit_event(
       obs::EventType::kShardExchange, static_cast<std::uint32_t>(exchanged),

@@ -45,6 +45,7 @@
 /// the rectangle could drift beyond its owner tile's dilation band and lose
 /// sight of its neighborhood.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -77,8 +78,14 @@ class ShardedEngine {
 
   /// Build the tile grid and every shard's region graph (shards are
   /// constructed in parallel on `pool`, which is retained for every step).
-  /// Node ids are reassigned to indices, as everywhere else.
+  /// Node ids are reassigned to indices, as everywhere else.  Construction
+  /// also registers the engine as the process-wide shard-stats provider
+  /// (obs/shard_stats.hpp) and eagerly registers every `shard.*` metric,
+  /// so a snapshot taken before the first step carries all shard series.
   ShardedEngine(std::vector<Node> nodes, sim::ThreadPool& pool, Config config);
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
 
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
@@ -166,6 +173,15 @@ class ShardedEngine {
   MLDCS_HOT_PATH void step(std::span<const Node> current,
                            std::span<const NodeId> moved_hint);
 
+  /// Publish shard `s`'s dirty-relay count into its load slot (one relaxed
+  /// store).  Called by the sharded cache's hook on shard `s`'s worker
+  /// thread — each shard writes only its own slot, so the barrier phase
+  /// stays free of cross-shard synchronization.
+  MLDCS_HOT_PATH MLDCS_NO_LOCK void publish_shard_dirty(
+      std::size_t s, std::uint64_t dirty) noexcept {
+    load_[s].dirty.store(dirty, std::memory_order_relaxed);
+  }
+
   /// Owner tile of a position (clamped to the grid).
   [[nodiscard]] std::uint32_t tile_of(geom::Vec2 p) const noexcept;
 
@@ -189,10 +205,27 @@ class ShardedEngine {
   double tile_w_ = 1.0;
   double tile_h_ = 1.0;
 
+  /// Per-shard load snapshot published for observers (obs/shard_stats.hpp
+  /// provider, installed in the constructor).  Each slot is written by one
+  /// thread at a time — phase 3's serial report loop, except `dirty`,
+  /// stored by the shard's own hook thread — and read from foreign
+  /// introspection/blackbox threads, so every field is a relaxed atomic
+  /// and slots are cache-line separated to keep the stores from sharing.
+  struct alignas(64) ShardLoad {
+    std::atomic<std::uint64_t> owned{0};
+    std::atomic<std::uint64_t> halo{0};
+    std::atomic<std::uint64_t> incoming{0};
+    std::atomic<std::uint64_t> dirty{0};
+    std::atomic<std::uint64_t> step_ns{0};
+    std::atomic<std::uint64_t> barrier_wait_ns{0};
+  };
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::uint32_t> owner_of_;
   std::vector<std::size_t> owned_count_;
   std::vector<NodeId> migrated_;
+  std::unique_ptr<ShardLoad[]> load_;
+  std::atomic<std::uint64_t> published_step_{0};
 
   std::function<void(std::size_t)> hook_;
 

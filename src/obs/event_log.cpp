@@ -30,6 +30,10 @@ const char* event_type_name(EventType t) noexcept {
       return "watchdog_mismatch";
     case EventType::kShardExchange:
       return "shard_exchange";
+    case EventType::kHeartbeat:
+      return "heartbeat";
+    case EventType::kCrashDump:
+      return "crash_dump";
   }
   return "unknown";
 }
@@ -160,6 +164,17 @@ void write_events_jsonl(std::ostream& os) {
   for (const Event& e : events) write_event_line(os, e);
 }
 
+void write_events_jsonl_tail(std::ostream& os, std::size_t tail) {
+  const std::vector<Event> events = events_snapshot();
+  const std::size_t n = std::min(tail, events.size());
+  os << "{\"schema\":\"mldcs-events-v1\",\"enabled\":"
+     << (events_enabled() ? "true" : "false") << ",\"count\":" << n
+     << ",\"dropped\":" << events_dropped() << "}\n";
+  for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+    write_event_line(os, events[i]);
+  }
+}
+
 }  // namespace mldcs::obs
 
 #else  // !MLDCS_ENABLE_TELEMETRY
@@ -169,6 +184,10 @@ namespace mldcs::obs {
 void write_events_jsonl(std::ostream& os) {
   os << "{\"schema\":\"mldcs-events-v1\",\"enabled\":false,\"count\":0,"
         "\"dropped\":0}\n";
+}
+
+void write_events_jsonl_tail(std::ostream& os, std::size_t) {
+  write_events_jsonl(os);
 }
 
 }  // namespace mldcs::obs

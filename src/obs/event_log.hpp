@@ -45,11 +45,16 @@
 /// | kWatchdogCheck    | sampled count  | mismatch count      | step index   | last kCacheUpdate |
 /// | kWatchdogMismatch | relay id       | —                   | —            | the kWatchdogCheck|
 /// | kShardExchange    | routed halo updates | migrations     | step index   | —                 |
+/// | kHeartbeat        | frame sequence | —                   | step index   | —                 |
+/// | kCrashDump        | —              | —                   | frames written | —               |
 ///
 /// kShardExchange is the sharded engine's step-level event (one per
 /// barrier; shard region graphs emit no per-shard kStep), so a sharded
 /// cache update parents to it exactly as a single-engine kCacheUpdate
-/// parents to its kStep.
+/// parents to its kStep.  kHeartbeat/kCrashDump are the blackbox flight
+/// recorder's own marks (obs/blackbox.hpp): one per recorded heartbeat
+/// frame, and one per explicit dump_now() — signal-context dumps cannot
+/// emit events and leave only the report file.
 
 #include <cstddef>
 #include <cstdint>
@@ -81,6 +86,8 @@ enum class EventType : std::uint8_t {
   kWatchdogCheck,
   kWatchdogMismatch,
   kShardExchange,
+  kHeartbeat,
+  kCrashDump,
 };
 
 /// Stable short name used in the JSONL export ("tx", "rx", "dup_rx", ...).
@@ -129,6 +136,11 @@ void events_clear();
 /// event object per line, in id order.  Does not clear the buffers.
 void write_events_jsonl(std::ostream& os);
 
+/// Same document restricted to the `tail` highest-id events (the header's
+/// count reflects the emitted lines, so the output is a valid standalone
+/// `mldcs-events-v1` document).  Serves introspection's `/events?tail=N`.
+void write_events_jsonl_tail(std::ostream& os, std::size_t tail);
+
 #else  // !MLDCS_ENABLE_TELEMETRY
 
 inline void events_start(std::size_t = kDefaultEventCapacity) {}
@@ -142,6 +154,7 @@ inline std::uint64_t emit_event(EventType, std::uint32_t, std::uint32_t,
 inline void events_clear() {}
 [[nodiscard]] inline std::vector<Event> events_snapshot() { return {}; }
 void write_events_jsonl(std::ostream& os);  // valid header-only document
+void write_events_jsonl_tail(std::ostream& os, std::size_t tail);
 
 #endif  // MLDCS_ENABLE_TELEMETRY
 

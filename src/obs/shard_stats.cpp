@@ -1,0 +1,51 @@
+#include "obs/shard_stats.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace mldcs::obs {
+
+namespace {
+
+/// Provider registration is cold-path (engine construction/destruction)
+/// and reads come from introspection/blackbox threads, never from the
+/// simulation step — a plain mutex is fine here.  The installed callback
+/// itself must still be cheap and thread-safe (the engine reads relaxed
+/// atomics), because it runs under this mutex on a foreign thread.
+struct ProviderState {
+  std::mutex mu;
+  const void* owner = nullptr;
+  ShardStatsFn fn;
+};
+
+ProviderState& provider_state() {
+  static ProviderState* s = new ProviderState();  // leaked: callable at exit
+  return *s;
+}
+
+}  // namespace
+
+void set_shard_stats_provider(const void* owner, ShardStatsFn fn) {
+  ProviderState& s = provider_state();
+  const std::scoped_lock lock(s.mu);
+  s.owner = owner;
+  s.fn = std::move(fn);
+}
+
+void clear_shard_stats_provider(const void* owner) {
+  ProviderState& s = provider_state();
+  const std::scoped_lock lock(s.mu);
+  if (s.owner != owner) return;  // a later engine already took over
+  s.owner = nullptr;
+  s.fn = nullptr;
+}
+
+std::uint64_t shard_stats(std::vector<ShardStat>& out) {
+  out.clear();
+  ProviderState& s = provider_state();
+  const std::scoped_lock lock(s.mu);
+  if (!s.fn) return 0;
+  return s.fn(out);
+}
+
+}  // namespace mldcs::obs

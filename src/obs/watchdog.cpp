@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/blackbox.hpp"
 #include "obs/telemetry.hpp"
 
 namespace mldcs::obs {
@@ -93,6 +94,11 @@ bool ConsistencyWatchdog::check_now(std::uint64_t parent_event) {
       steps_);
   for (const std::uint32_t u : last_mismatched_) {
     emit_event(EventType::kWatchdogMismatch, u, kNoNode, check_event, 0);
+  }
+  // A consistency alarm is exactly what the flight recorder exists for:
+  // preserve the heartbeat history leading up to it before anyone reacts.
+  if (!last_mismatched_.empty() && blackbox_armed()) {
+    blackbox_dump_now("watchdog");
   }
   return last_mismatched_.empty();
 }

@@ -63,6 +63,14 @@ class ThreadPool {
   /// rethrow the first task exception recorded since the last wait_idle().
   void wait_idle();
 
+  /// Tasks currently queued (not yet picked up by a worker).  Takes the
+  /// queue mutex — an introspection read for pollers and dashboards, not
+  /// for hot-path decisions.
+  [[nodiscard]] std::size_t queue_depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// Run `body(i)` for every i in [0, n), partitioned into `size()`
   /// contiguous chunks executed concurrently.  Blocks until all complete.
   /// Exceptions thrown by `body` are rethrown (first one wins).  Runs
@@ -200,7 +208,7 @@ class ThreadPool {
 
   std::size_t workers_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_cv_;   // workers: queue non-empty or stopping
   std::condition_variable idle_cv_;   // waiters: queue empty and none active
   std::deque<std::function<void()>> queue_;     // guarded by mutex_

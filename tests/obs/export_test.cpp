@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/telemetry.hpp"
 
@@ -96,6 +100,64 @@ TEST(PrometheusTest, HistogramSeriesAreCumulative) {
 }
 
 #endif  // MLDCS_ENABLE_TELEMETRY
+
+// Exporters under concurrent registration: writer threads registering and
+// bumping fresh metrics while the main thread snapshots both formats in a
+// loop.  The introspection server serves exactly this pattern (a scraper
+// polling /metrics while the run registers late series), so the exporters
+// must tolerate a registry that grows mid-scrape.  The assertions are
+// deliberately weak — well-formed envelopes, all names present in the
+// final snapshot — because the real verdict comes from the asan and tsan
+// presets running this test.
+TEST(ExportConcurrencyTest, RegistrationWhileExportingIsSafe) {
+  Registry r;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 32;
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&r, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::string stem =
+            "stress.t" + std::to_string(t) + ".m" + std::to_string(i);
+        r.counter(stem + ".c").add(i + 1);
+        r.gauge(stem + ".g").set(static_cast<std::int64_t>(i));
+        r.histogram(stem + ".h").record(i);
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    std::ostringstream json;
+    write_snapshot_json(json, r);
+    const std::string doc = json.str();
+    EXPECT_EQ(doc.front(), '{');
+    EXPECT_NE(doc.find("\"schema\":\"mldcs-telemetry-v1\""),
+              std::string::npos);
+    std::ostringstream prom;
+    write_prometheus_text(prom, r);
+  }
+  for (std::thread& w : writers) w.join();
+
+  if (kTelemetryEnabled) {
+    std::ostringstream final_json;
+    write_snapshot_json(final_json, r);
+    const std::string doc = final_json.str();
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::string stem =
+            "stress.t" + std::to_string(t) + ".m" + std::to_string(i);
+        ASSERT_NE(doc.find("\"" + stem + ".c\":"), std::string::npos)
+            << "registered counter lost: " << stem;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace mldcs::obs

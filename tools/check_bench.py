@@ -48,6 +48,9 @@ Every line is validated (obslib.check_history_entry) before use:
 unparseable or malformed lines — non-object entries, non-numeric leaf
 values — are skipped with a named warning, deltas are taken against the
 last *valid* entry, and a summary that fails validation is not appended.
+The appended summary names the run's observability provenance
+(`introspect`/`blackbox` keys) so instrumented runs are attributable in
+the longitudinal record.
 
 Exit status: 0 clean (possibly with warnings), 1 regression,
 2 usage/unreadable-input error.
@@ -333,6 +336,19 @@ def update_history(path, fresh_doc, fresh_path, previous):
         warn(f"cannot append to {path}: {e}")
         return
     print(f"check_bench: history: appended entry to {path}")
+
+    # Observability provenance is always named, not only on change: a
+    # history line recorded with the introspection server on or a blackbox
+    # armed measured a (slightly) instrumented run, and whoever reads the
+    # longitudinal record needs that attribution next to the numbers.
+    prov = summary.get("provenance")
+    if isinstance(prov, dict):
+        obs_keys = {k: prov[k] for k in ("introspect", "blackbox")
+                    if k in prov}
+        if obs_keys:
+            readout = ", ".join(f"{k}={v}" for k, v in sorted(
+                obs_keys.items()))
+            print(f"  observability: {readout}")
 
     if previous is None:
         print("check_bench: history: first entry, no deltas")

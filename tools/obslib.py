@@ -6,11 +6,16 @@ The C++ side emits three JSON document families (docs/OBSERVABILITY.md):
   * mldcs-telemetry-v1 registry snapshots from obs::write_snapshot_json,
   * mldcs-events-v1 flight-recorder JSONL from obs::write_events_jsonl
     (one header line, then one event object per line),
+  * mldcs-blackbox-v1 crash/heartbeat reports from the obs::blackbox
+    dumper (header, heartbeat frames, event-tail lines, end line),
+  * mldcs-shards-v1 per-shard load tables from the introspection
+    server's /shards endpoint,
 
 plus the mldcs-perf-v1 benchmark documents from perf_suite.  Every tool
 that reads one of these (summarize_trace.py, check_bench.py,
-mldcs_report.py) validates through this module so a schema drift fails
-identically everywhere instead of three slightly different ways.
+mldcs_report.py, mldcs_top.py) validates through this module so a schema
+drift fails identically everywhere instead of several slightly different
+ways.
 
 All checkers raise SchemaError with a path-prefixed message; tools decide
 whether that is fatal (CI gates) or a named warning (best-effort reports).
@@ -21,12 +26,14 @@ import json
 EVENT_SCHEMA = "mldcs-events-v1"
 TELEMETRY_SCHEMA = "mldcs-telemetry-v1"
 PERF_SCHEMA = "mldcs-perf-v1"
+BLACKBOX_SCHEMA = "mldcs-blackbox-v1"
+SHARDS_SCHEMA = "mldcs-shards-v1"
 
 #: Event-type tokens emitted by obs::event_type_name (one per EventType).
 EVENT_TYPES = frozenset({
     "broadcast", "tx", "rx", "dup_rx", "designate", "suppress",
     "step", "cache_update", "watchdog_check", "watchdog_mismatch",
-    "shard_exchange",
+    "shard_exchange", "heartbeat", "crash_dump",
 })
 
 
@@ -148,6 +155,132 @@ def load_events(path):
         raise SchemaError(f"{path}: header count {header['count']} != "
                           f"{len(events)} event lines (truncated?)")
     return header, events
+
+
+def load_blackbox(path):
+    """Load and validate an mldcs-blackbox-v1 crash/heartbeat report.
+
+    Returns (header, frames, events): the header dict, the heartbeat
+    frame dicts, and the event-tail dicts, each in file order.  Raises
+    SchemaError on unreadable input, a bad header, an unknown line kind,
+    non-increasing heartbeat sequence numbers or event ids, a malformed
+    counter delta, or an end line whose counts disagree with the body.
+
+    The end line is optional: a dump interrupted mid-write (the process
+    died inside the crash handler) still yields whatever frames landed,
+    and the missing trailer is the caller's signal that the report is
+    partial.  Returns header None for an empty file for the same reason.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in (raw.strip() for raw in f) if ln]
+    except OSError as e:
+        raise SchemaError(f"cannot read {path}: {e}") from e
+    if not lines:
+        return None, [], []
+
+    def parse(i, line):
+        try:
+            doc = json.loads(line)
+        except ValueError as e:
+            raise SchemaError(f"{path}:{i + 1}: bad JSON: {e}") from e
+        if not isinstance(doc, dict):
+            raise SchemaError(f"{path}:{i + 1}: line is not a JSON object")
+        return doc
+
+    header = parse(0, lines[0])
+    if header.get("kind") != "header":
+        raise SchemaError(f"{path}: first line kind is "
+                          f"{header.get('kind')!r} (expected 'header')")
+    if header.get("schema") != BLACKBOX_SCHEMA:
+        raise SchemaError(f"{path}: unexpected schema "
+                          f"{header.get('schema')!r} "
+                          f"(expected {BLACKBOX_SCHEMA})")
+    for key in ("pid", "frames", "event_tail", "reason"):
+        if key not in header:
+            raise SchemaError(f"{path}: header is missing '{key}'")
+
+    frames = []
+    events = []
+    end = None
+    prev_seq = -1
+    prev_id = -1
+    for i, line in enumerate(lines[1:], start=1):
+        doc = parse(i, line)
+        kind = doc.get("kind")
+        if end is not None:
+            raise SchemaError(f"{path}:{i + 1}: line after the end trailer")
+        if kind == "heartbeat":
+            for key in ("seq", "step", "counters", "gauges", "hists",
+                        "shards", "events"):
+                if key not in doc:
+                    raise SchemaError(
+                        f"{path}:{i + 1}: heartbeat missing '{key}'")
+            if not isinstance(doc["seq"], int) or doc["seq"] <= prev_seq:
+                raise SchemaError(
+                    f"{path}:{i + 1}: heartbeat seq must be strictly "
+                    f"increasing ({prev_seq} then {doc['seq']})")
+            prev_seq = doc["seq"]
+            for name, val in doc["counters"].items():
+                if (not isinstance(val, list) or len(val) != 2
+                        or not all(isinstance(x, int) for x in val)):
+                    raise SchemaError(
+                        f"{path}:{i + 1}: counter {name!r} is not an "
+                        "[absolute, delta] pair")
+            frames.append(doc)
+        elif kind == "event":
+            for key in ("id", "t", "a", "v"):
+                if key not in doc:
+                    raise SchemaError(
+                        f"{path}:{i + 1}: event missing '{key}'")
+            if doc["t"] not in EVENT_TYPES:
+                raise SchemaError(
+                    f"{path}:{i + 1}: unknown event type {doc['t']!r}")
+            if not isinstance(doc["id"], int) or doc["id"] <= prev_id:
+                raise SchemaError(
+                    f"{path}:{i + 1}: event ids must be strictly "
+                    f"increasing ({prev_id} then {doc['id']})")
+            prev_id = doc["id"]
+            events.append(doc)
+        elif kind == "end":
+            end = doc
+        else:
+            raise SchemaError(f"{path}:{i + 1}: unknown line kind {kind!r}")
+
+    if end is not None:
+        if end.get("frames") != len(frames):
+            raise SchemaError(f"{path}: end line claims "
+                              f"{end.get('frames')} frames, found "
+                              f"{len(frames)}")
+        if end.get("events") != len(events):
+            raise SchemaError(f"{path}: end line claims "
+                              f"{end.get('events')} events, found "
+                              f"{len(events)}")
+    return header, frames, events
+
+
+def check_shards(doc, path):
+    """Validate an mldcs-shards-v1 load table; return its shard rows."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level is not a JSON object")
+    if doc.get("schema") != SHARDS_SCHEMA:
+        raise SchemaError(f"{path}: unexpected schema {doc.get('schema')!r} "
+                          f"(expected {SHARDS_SCHEMA})")
+    shards = doc.get("shards")
+    if not isinstance(shards, list):
+        raise SchemaError(f"{path}: missing 'shards' array")
+    if doc.get("count") != len(shards):
+        raise SchemaError(f"{path}: count {doc.get('count')} != "
+                          f"{len(shards)} shard rows")
+    for i, s in enumerate(shards):
+        if not isinstance(s, dict):
+            raise SchemaError(f"{path}: shards[{i}] is not an object")
+        for key in ("shard", "owned", "halo", "incoming", "dirty",
+                    "step_ns", "barrier_wait_ns"):
+            if not isinstance(s.get(key), int):
+                raise SchemaError(
+                    f"{path}: shards[{i}] has no integer '{key}'")
+    return shards
 
 
 def check_bench(doc, path):

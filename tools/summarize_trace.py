@@ -2,6 +2,7 @@
 """Summarize an mldcs chrome-trace file as a per-phase time table.
 
 Usage: tools/summarize_trace.py TRACE.json [--snapshot SNAPSHOT.json]
+                                           [--blackbox REPORT.jsonl]
 
 TRACE.json is the trace-event file written by `perf_suite --trace` or
 `mobility_maintenance --trace` (obs::write_trace_json): a JSON object with
@@ -13,6 +14,13 @@ span time — the quick per-phase readout without opening chrome://tracing.
 --snapshot additionally validates and summarizes an mldcs-telemetry-v1
 registry snapshot (obs::write_snapshot_json): counter/gauge values and
 histogram count/mean/max per metric.
+
+--blackbox validates and summarizes an mldcs-blackbox-v1 flight-recorder
+report (the obs::blackbox dumper's output, from --blackbox PATH on the
+example/bench binaries or a crash): dump reason, heartbeat step range,
+the hottest counters by last-interval delta, and the event-tail span.
+A report without its end trailer is summarized with a PARTIAL warning —
+the dump was interrupted mid-write — rather than rejected.
 
 Exit status: 0 on success — including an empty trace (telemetry compiled
 out or tracing never started) and an empty or truncated trace *file*
@@ -99,13 +107,42 @@ def print_snapshot_summary(doc):
               f"mean={h['mean']:.1f} max={h['max']}")
 
 
+def print_blackbox_summary(header, frames, events):
+    if header is None:
+        print("\nblackbox: empty report (armed but never dumped?)")
+        return
+    print(f"\nblackbox: reason={header['reason']!r} pid={header['pid']} "
+          f"{len(frames)} heartbeat frame(s), {len(events)} tail event(s)")
+    if not frames:
+        print("  no heartbeat frames (dumped before the first heartbeat)")
+        return
+    first, last = frames[0], frames[-1]
+    print(f"  steps {first['step']}..{last['step']} "
+          f"(seq {first['seq']}..{last['seq']})")
+    deltas = sorted(((name, val[1], val[0])
+                     for name, val in last["counters"].items()),
+                    key=lambda kv: -kv[1])
+    for name, delta, absolute in deltas[:8]:
+        print(f"  counter   {name:<36} {absolute} (+{delta} last interval)")
+    for row in last.get("shards", []):
+        print(f"  shard {row['shard']:>3}  owned={row['owned']} "
+              f"halo={row['halo']} incoming={row['incoming']} "
+              f"dirty={row['dirty']} step_ns={row['step_ns']} "
+              f"wait_ns={row['barrier_wait_ns']}")
+    if events:
+        print(f"  event tail ids {events[0]['id']}..{events[-1]['id']}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Summarize an mldcs trace (and optional telemetry "
-                    "snapshot).")
+                    "snapshot / blackbox report).")
     parser.add_argument("trace", help="trace-event JSON from --trace")
     parser.add_argument("--snapshot",
                         help="mldcs-telemetry-v1 JSON from --telemetry")
+    parser.add_argument("--blackbox",
+                        help="mldcs-blackbox-v1 JSONL report to validate "
+                             "and summarize")
     args = parser.parse_args()
 
     spans = load_trace_spans(args.trace)
@@ -119,6 +156,18 @@ def main():
         except obslib.SchemaError as e:
             fail(str(e))
         print_snapshot_summary(doc)
+
+    if args.blackbox:
+        try:
+            header, frames, events = obslib.load_blackbox(args.blackbox)
+        except obslib.SchemaError as e:
+            fail(str(e))
+        print_blackbox_summary(header, frames, events)
+        if header is not None and not any(
+                ln.strip().startswith('{"kind":"end"')
+                for ln in open(args.blackbox, encoding="utf-8")):
+            print("  WARNING: PARTIAL report (no end trailer; the dump "
+                  "was interrupted mid-write)")
     return 0
 
 
