@@ -41,6 +41,7 @@
 ///                   [--list-sections] [--section NAME]...
 ///                   [--trace PATH] [--telemetry PATH] [--events PATH]
 ///                   [--introspect PORT] [--blackbox PATH]
+///                   [--profile PATH]
 ///
 /// --section restricts the run to the named section(s); skipped sections
 /// are simply absent from the JSON (tools/check_bench.py warns and moves
@@ -54,8 +55,12 @@
 /// and /healthz live on 127.0.0.1:PORT while sections run; --blackbox
 /// PATH arms the obs/blackbox.hpp flight recorder with one heartbeat per
 /// section boundary and writes a mldcs-blackbox-v1 report on crash or
-/// exit.  Both are recorded in the provenance block ("introspect",
-/// "blackbox") since an attached observer can perturb timings.
+/// exit.  --profile PATH arms the obs/profiler.hpp sampling profiler at
+/// 97 Hz for the whole run and writes the collapsed-stack profile
+/// (mldcs-profile-v1 folded text) at exit — like --events, arming it
+/// perturbs timings, so keep it off when regenerating BENCH_skyline.json.
+/// All three are recorded in the provenance block ("introspect",
+/// "blackbox", "profile") since an attached observer can perturb timings.
 
 #include <algorithm>
 #include <atomic>
@@ -87,6 +92,7 @@
 #include "obs/event_log.hpp"
 #include "obs/export.hpp"
 #include "obs/introspect.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
@@ -255,6 +261,7 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   std::string events_path;
   std::string blackbox_path;
+  std::string profile_path;
   int introspect_port = -1;  // -1: server off; 0: ephemeral
   std::vector<std::string> sections;
   for (int i = 1; i < argc; ++i) {
@@ -273,6 +280,8 @@ int main(int argc, char** argv) {
       events_path = argv[++i];
     } else if (arg == "--blackbox" && i + 1 < argc) {
       blackbox_path = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (arg == "--introspect" && i + 1 < argc) {
       introspect_port = std::atoi(argv[++i]);
       if (introspect_port < 0 || introspect_port > 65535) {
@@ -294,7 +303,7 @@ int main(int argc, char** argv) {
                    "                  [--list-sections] [--section NAME]...\n"
                    "                  [--trace PATH] [--telemetry PATH]\n"
                    "                  [--events PATH] [--introspect PORT]\n"
-                   "                  [--blackbox PATH]\n";
+                   "                  [--blackbox PATH] [--profile PATH]\n";
       return 2;
     }
   }
@@ -330,6 +339,20 @@ int main(int argc, char** argv) {
       }
     } else {
       blackbox_note = blackbox_path;
+    }
+  }
+  std::string profile_note = "off";
+  if (!profile_path.empty()) {
+    if (!obs::profiler_arm(obs::ProfilerConfig{})) {
+      if constexpr (!obs::kTelemetryEnabled) {
+        std::cerr << "note: --profile ignored (built with "
+                     "MLDCS_ENABLE_TELEMETRY=OFF)\n";
+      } else {
+        std::cerr << "error: cannot arm profiler\n";
+        return 1;
+      }
+    } else {
+      profile_note = profile_path;
     }
   }
   obs::IntrospectServer introspect;
@@ -380,6 +403,7 @@ int main(int argc, char** argv) {
   // perturb timings, so its presence is provenance, like the dispatch.
   j.field("introspect", introspect_note);
   j.field("blackbox", blackbox_note);
+  j.field("profile", profile_note);
   j.close_obj();
   std::cout << "  provenance: " << compiler_id() << "; simd dispatch "
             << geom::simd::dispatch_choice() << " (detected "
@@ -946,6 +970,16 @@ int main(int argc, char** argv) {
       std::cout << "[OK] wrote blackbox report to " << blackbox_path << "\n";
     }
     obs::blackbox_disarm();
+  }
+  if (obs::profiler_armed()) {
+    obs::profiler_disarm();  // joins the drain: the report below is final
+    std::ofstream prof_out(profile_path);
+    if (!prof_out) {
+      std::cerr << "error: cannot open " << profile_path << " for writing\n";
+      return 1;
+    }
+    obs::write_profile_folded(prof_out, obs::profiler_report());
+    std::cout << "[OK] wrote " << profile_path << "\n";
   }
 
   if (!trace_path.empty()) {

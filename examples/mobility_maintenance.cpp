@@ -21,7 +21,7 @@
 ///                              [--trace PATH] [--telemetry PATH]
 ///                              [--events PATH] [--watchdog K,M]
 ///                              [--shards N] [--introspect PORT]
-///                              [--blackbox PATH]
+///                              [--blackbox PATH] [--profile PATH]
 ///
 /// --trace records the run as chrome://tracing trace events (graph.apply /
 /// cache.update spans per period); --telemetry dumps the process-wide
@@ -48,6 +48,12 @@
 /// mldcs-blackbox-v1 report on SIGSEGV/SIGABRT/SIGBUS, on a watchdog
 /// mismatch, and at clean exit (validate with tools/summarize_trace.py
 /// --blackbox PATH).
+///
+/// --profile PATH arms the obs/profiler.hpp sampling profiler at 97 Hz
+/// for the whole run and writes the collapsed-stack profile
+/// (mldcs-profile-v1 folded text; feed to flamegraph.pl / speedscope, or
+/// tools/summarize_trace.py --profile) at exit.  A crash while armed
+/// appends the phase breakdown to the blackbox report.
 
 #include <atomic>
 #include <chrono>
@@ -72,6 +78,7 @@
 #include "obs/event_log.hpp"
 #include "obs/export.hpp"
 #include "obs/introspect.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
@@ -96,6 +103,7 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   std::string events_path;
   std::string blackbox_path;
+  std::string profile_path;
   int introspect_port = -1;  // -1: server off; 0: ephemeral
   std::size_t shards = 1;
   std::uint32_t wd_period = 0;  // 0: watchdog off
@@ -111,6 +119,8 @@ int main(int argc, char** argv) {
       events_path = argv[++i];
     } else if (arg == "--blackbox" && i + 1 < argc) {
       blackbox_path = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (arg == "--introspect" && i + 1 < argc) {
       introspect_port = std::atoi(argv[++i]);
       if (introspect_port < 0 || introspect_port > 65535) {
@@ -146,7 +156,8 @@ int main(int argc, char** argv) {
                    "[--watchdog K,M]\n"
                    "                            [--shards N] "
                    "[--introspect PORT]\n"
-                   "                            [--blackbox PATH]\n";
+                   "                            [--blackbox PATH] "
+                   "[--profile PATH]\n";
       return 2;
     } else {
       pos.push_back(arg);
@@ -179,6 +190,21 @@ int main(int argc, char** argv) {
       std::cout << "blackbox armed: " << blackbox_path
                 << " (dumps on SIGSEGV/SIGABRT/SIGBUS, watchdog alarm, "
                    "exit)\n";
+    }
+  }
+  if (!profile_path.empty()) {
+    if (!obs::profiler_arm(obs::ProfilerConfig{})) {
+      if constexpr (!obs::kTelemetryEnabled) {
+        std::cerr << "note: --profile ignored (built with "
+                     "MLDCS_ENABLE_TELEMETRY=OFF)\n";
+      } else {
+        std::cerr << "error: cannot arm profiler\n";
+        return 1;
+      }
+    } else {
+      std::cout << "profiler armed: 97 Hz per-thread CPU sampling, folded "
+                   "profile to "
+                << profile_path << " at exit\n";
     }
   }
 
@@ -412,6 +438,25 @@ int main(int argc, char** argv) {
                    "tools/summarize_trace.py --blackbox)\n";
     }
     obs::blackbox_disarm();
+  }
+  if (obs::profiler_armed()) {
+    // Disarm joins the drain thread, so the report below is complete.
+    obs::profiler_disarm();
+    std::ofstream prof_out(profile_path);
+    if (!prof_out) {
+      std::cerr << "error: cannot open " << profile_path << " for writing\n";
+      return 1;
+    }
+    const obs::ProfileReport report = obs::profiler_report();
+    obs::write_profile_folded(prof_out, report);
+    std::uint64_t named = 0;
+    for (const auto& [phase, count] : report.phases) {
+      if (phase != "none") named += count;
+    }
+    std::cout << "wrote folded profile to " << profile_path << " ("
+              << report.total_samples << " samples, " << named
+              << " phase-tagged; flamegraph.pl or speedscope it, or "
+                 "tools/summarize_trace.py --profile)\n";
   }
 
   if (!events_path.empty()) {

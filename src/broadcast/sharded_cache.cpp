@@ -4,6 +4,7 @@
 
 #include "broadcast/relay_skyline.hpp"
 #include "obs/event_log.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -46,6 +47,9 @@ ShardCache::ShardCache(const net::DynamicDiskGraph& g, std::uint32_t shard,
 }
 
 MLDCS_ALLOC_OK void ShardCache::full_sweep() {
+  // The initial everything-dirty build is cache recompute too; update()
+  // tags the incremental path, this tags the bootstrap.
+  const obs::PhaseScope phase(obs::Phase::kCacheRecompute);
   const std::size_t n = g_->size();
   dirty_.clear();
   for (std::size_t i = 0; i < n; ++i) {
@@ -60,6 +64,7 @@ MLDCS_ALLOC_OK void ShardCache::full_sweep() {
 MLDCS_HOT_PATH MLDCS_NO_LOCK void ShardCache::update(
     const net::DynamicDiskGraph::StepDelta& delta,
     std::span<const net::NodeId> migrated) {
+  const obs::PhaseScope phase(obs::Phase::kCacheRecompute);
   const net::DynamicDiskGraph& g = *g_;
   dirty_.clear();
   const auto mark = [this](net::NodeId w) {

@@ -4,6 +4,7 @@
 
 #include "broadcast/relay_skyline.hpp"
 #include "obs/event_log.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -124,6 +125,7 @@ void SkylineCache::recompute_dirty() {
     const obs::TraceSpan recompute_span("cache.recompute_dirty");
     pool_->parallel_chunks(
         n_dirty, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+          const obs::PhaseScope phase(obs::Phase::kCacheRecompute);
           ChunkOut& co = chunk_out_[c];
           co.ids.clear();
           co.lens.clear();

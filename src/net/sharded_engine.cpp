@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "obs/shard_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -155,6 +156,9 @@ ShardedEngine::ShardedEngine(std::vector<Node> nodes, sim::ThreadPool& pool,
         }
         return published_step_.load(std::memory_order_acquire);
       });
+  // The constructing thread drives phase 1/3 of every step; make sure it
+  // shows up in profiles (pool workers register in worker_loop).
+  obs::profiler_register_thread();
 }
 
 ShardedEngine::~ShardedEngine() {
@@ -196,20 +200,23 @@ MLDCS_HOT_PATH void ShardedEngine::step(std::span<const Node> current,
   // Phase 1 (serial): ownership commit.  Owner tiles follow the *new*
   // positions so the parallel phase — including any cache hook — reads one
   // stable owner map; border crossings are this step's migrations.
-  migrated_.clear();
-  for (const NodeId u : moved_hint) {
-    assert(deployment_.contains(current[u].pos) &&
-           "ShardedEngine::step: position escaped the deployment rectangle");
-    const std::uint32_t t = tile_of(current[u].pos);
-    const std::uint32_t prev = owner_of_[u];
-    if (t != prev) {
-      migrated_.push_back(u);
-      --owned_count_[prev];
-      ++owned_count_[t];
-      owner_of_[u] = t;
+  {
+    const obs::PhaseScope phase(obs::Phase::kStepOwnership);
+    migrated_.clear();
+    for (const NodeId u : moved_hint) {
+      assert(deployment_.contains(current[u].pos) &&
+             "ShardedEngine::step: position escaped the deployment rectangle");
+      const std::uint32_t t = tile_of(current[u].pos);
+      const std::uint32_t prev = owner_of_[u];
+      if (t != prev) {
+        migrated_.push_back(u);
+        --owned_count_[prev];
+        ++owned_count_[t];
+        owner_of_[u] = t;
+      }
     }
+    migrations_ += migrated_.size();
   }
-  migrations_ += migrated_.size();
 
   // Phase 2 (parallel, the per-step barrier): every shard routes the
   // movers whose old (nodes_) or new (current) position falls in its
@@ -220,22 +227,30 @@ MLDCS_HOT_PATH void ShardedEngine::step(std::span<const Node> current,
       shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo,
                           std::size_t hi) {
         for (std::size_t s = lo; s < hi; ++s) {
+          const obs::PhaseScope phase(obs::Phase::kShardStep);
           Shard& sh = *shards_[s];
           const std::uint64_t t0 = now_ns();
-          sh.incoming.clear();
-          for (const NodeId u : moved_hint) {
-            if (sh.region.contains(nodes_[u].pos) ||
-                sh.region.contains(current[u].pos)) {
-              sh.incoming.push_back(u);
+          {
+            // Halo exchange proper: routing movers into the shard's
+            // region and applying them to its graph.  The hook (cache
+            // recompute) tags its own phase.
+            const obs::PhaseScope halo(obs::Phase::kHaloExchange);
+            sh.incoming.clear();
+            for (const NodeId u : moved_hint) {
+              if (sh.region.contains(nodes_[u].pos) ||
+                  sh.region.contains(current[u].pos)) {
+                sh.incoming.push_back(u);
+              }
             }
+            sh.graph.apply(current, sh.incoming);
           }
-          sh.graph.apply(current, sh.incoming);
           if (hook_) hook_(s);
           sh.step_ns = now_ns() - t0;
         }
       });
 
   // Phase 3 (serial): commit global positions and report.
+  const obs::PhaseScope phase(obs::Phase::kStepCommit);
   for (const NodeId u : moved_hint) nodes_[u].pos = current[u].pos;
   ++steps_;
 

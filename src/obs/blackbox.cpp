@@ -17,6 +17,7 @@
 
 #include "core/annotations.hpp"
 #include "obs/event_log.hpp"
+#include "obs/profiler.hpp"
 #include "obs/shard_stats.hpp"
 
 namespace mldcs::obs {
@@ -262,6 +263,15 @@ long dump_impl(State& s, const char* reason) noexcept {
       tail_events = count;
       break;
     }
+  }
+
+  // Profile appendix: when the sampling profiler is (or was) armed, its
+  // drain thread keeps a pre-serialized {"kind":"profile",...} line in a
+  // double buffer; copying it here is byte moves + atomic loads only.
+  {
+    char pbuf[16384];
+    const std::size_t plen = profiler_crash_snapshot(pbuf, sizeof(pbuf));
+    if (plen > 0) safe_write(fd, pbuf, plen);
   }
 
   safe_write(fd, "{\"kind\":\"end\",\"frames\":", 23);

@@ -39,11 +39,15 @@
 ///   ...                                                           (newest)
 ///   {"kind":"event","id":..,"t":"..",...}                    (last-N tail)
 ///   ...
+///   {"kind":"profile","schema":"mldcs-profile-v1",...}       (if armed)
 ///   {"kind":"end","frames":H,"events":E}
 ///
 /// The event tail is captured at heartbeat time into a double buffer (the
 /// Event record carries no thread id, so the tail is the global last-N by
 /// id); the end line's counts let tools/obslib.py detect truncated dumps.
+/// The profile line appears when the sampling profiler (obs/profiler.hpp)
+/// is or was armed: its drain thread pre-serializes phase counts and top
+/// stacks into a double buffer the dumper copies byte-for-byte.
 ///
 /// With MLDCS_ENABLE_TELEMETRY=OFF every function is an inline no-op stub
 /// (arm fails, dumps refuse) and call sites compile away.

@@ -15,6 +15,7 @@
 
 #include "obs/event_log.hpp"
 #include "obs/export.hpp"
+#include "obs/profiler.hpp"
 #include "obs/shard_stats.hpp"
 
 namespace mldcs::obs {
@@ -87,13 +88,33 @@ std::size_t parse_tail(const std::string& target) {
   return any ? n : kDefaultEventTail;
 }
 
+/// Parse `?seconds=N` off a `/profile` target; clamp to 1..30 so a typo
+/// cannot park the (single-threaded) responder for minutes.
+double parse_profile_seconds(const std::string& target) {
+  const std::size_t q = target.find("seconds=");
+  if (q == std::string::npos) return 1.0;
+  std::size_t n = 0;
+  bool any = false;
+  for (std::size_t i = q + 8; i < target.size(); ++i) {
+    const char c = target[i];
+    if (c < '0' || c > '9') break;
+    n = n * 10 + static_cast<std::size_t>(c - '0');
+    any = true;
+    if (n > 30) return 30.0;
+  }
+  if (!any || n == 0) return 1.0;
+  return static_cast<double>(n);
+}
+
 constexpr const char* kIndexBody =
     "mldcs introspection endpoints:\n"
-    "  /metrics        Prometheus text exposition\n"
-    "  /snapshot.json  mldcs-telemetry-v1 registry snapshot\n"
-    "  /events?tail=N  mldcs-events-v1 tail (default 256)\n"
-    "  /shards         mldcs-shards-v1 per-shard load table\n"
-    "  /healthz        watchdog verdict\n";
+    "  /metrics                 Prometheus text exposition\n"
+    "  /snapshot.json           mldcs-telemetry-v1 registry snapshot\n"
+    "  /events?tail=N           mldcs-events-v1 tail (default 256)\n"
+    "  /shards                  mldcs-shards-v1 per-shard load table\n"
+    "  /profile?seconds=N       mldcs-profile-v1 sampled window\n"
+    "      &format=folded|json  (default folded; blocks for the window)\n"
+    "  /healthz                 watchdog verdict\n";
 
 }  // namespace
 
@@ -240,6 +261,23 @@ void IntrospectServer::handle_connection(int client_fd) {
     send_response(client_fd, 200, "OK", "application/jsonl", os.str());
   } else if (path == "/shards") {
     send_response(client_fd, 200, "OK", "application/json", shards_body());
+  } else if (path == "/profile") {
+    // Deliberate exception to "never block": the *server thread* sleeps
+    // for the sampled window (1..30 s, bounded); the simulation threads
+    // only carry the armed profiler's sampling cost.  Telemetry-off
+    // builds return a valid empty document immediately.
+    const double seconds = parse_profile_seconds(target);
+    const bool json = target.find("format=json") != std::string::npos;
+    const ProfileReport report =
+        profiler_capture_window(seconds, ProfilerConfig{});
+    std::ostringstream os;
+    if (json) {
+      write_profile_json(os, report);
+    } else {
+      write_profile_folded(os, report);
+    }
+    send_response(client_fd, 200, "OK",
+                  json ? "application/json" : "text/plain", os.str());
   } else if (path == "/healthz") {
     HealthFn health;
     {

@@ -11,6 +11,8 @@
 /// | `/snapshot.json` | `mldcs-telemetry-v1` registry snapshot             |
 /// | `/events?tail=N` | `mldcs-events-v1` tail (default 256 events)        |
 /// | `/shards`        | `mldcs-shards-v1` per-shard load/barrier table     |
+/// | `/profile`       | `mldcs-profile-v1` sampled window (`?seconds=N`,   |
+/// |                  | 1..30, `&format=folded\|json`; default folded)     |
 /// | `/healthz`       | `200 ok` / `503 unhealthy` from the health hook    |
 /// | `/`              | plain-text endpoint index                          |
 ///
@@ -20,7 +22,11 @@
 ///    exporters (registry snapshot under the registration mutex, relaxed
 ///    shard-stat atomics, event buffers).  No request path touches engine
 ///    step state, and the step hot path acquires nothing for the server's
-///    benefit — hot_path_guard stays green with a poller attached.
+///    benefit — hot_path_guard stays green with a poller attached.  The
+///    one deliberate carve-out is `/profile`: the *server thread* sleeps
+///    for the sampled window (bounded at 30 s) while the profiler's
+///    SIGPROF timers do the collection; concurrent requests queue behind
+///    it (single-threaded responder), the simulation does not.
 ///  - **Boring on the wire.**  HTTP/1.0, `Connection: close`, one request
 ///    per connection, 200ms poll ticks so stop() returns promptly.  This
 ///    is an operational loopback port for curl/Prometheus/mldcs_top.py,

@@ -1,0 +1,238 @@
+#pragma once
+
+/// \file profiler.hpp
+/// In-process sampling profiler with step-phase attribution.
+///
+/// The rest of the obs stack says *what* happened (metrics, events,
+/// blackbox history); this module says *where the time went* — from a
+/// live run, without a restart, and without adding anything to the step
+/// hot path while disarmed.  Arming installs one POSIX interval timer per
+/// registered thread against that thread's CPU-time clock
+/// (`pthread_getcpuclockid` + `timer_create` with `SIGEV_THREAD_ID`), so
+/// SIGPROF fires in proportion to CPU actually burned: a thread parked in
+/// a condition wait accumulates no samples and the profile is
+/// load-immune by construction.
+///
+///  - **Handler discipline.**  The SIGPROF handler follows the blackbox
+///    contract exactly: no malloc, no stdio, no locks — it reads the
+///    ucontext PC and walks frame pointers (upward-only, stack-bounded)
+///    into a preallocated per-thread ring of relaxed-atomic sample
+///    slots.  The ring drops-when-full instead of overwriting, so the
+///    drain side never reads a torn sample.
+///  - **Phase words.**  A thread-local phase tag set by the RAII
+///    `PhaseScope` (two relaxed stores; hand-audited hot-path-safe and
+///    known to mldcs-analyze by name) is woven through the hot layers —
+///    ShardedEngine step phases, halo routing, cache recompute, SIMD
+///    kernel dispatch, pool idle — and captured with every sample, so a
+///    profile splits by phase even when frame pointers are compiled out.
+///  - **Folding.**  A drain thread sweeps the rings every ~50 ms and
+///    folds stacks into collapsed-stack form ("phase;outer;...;leaf N",
+///    flamegraph.pl / speedscope compatible; schema `mldcs-profile-v1`)
+///    with dladdr symbolization and demangling at fold time, never in
+///    the handler.  It also pre-serializes a bounded JSON profile line
+///    into a double buffer so a blackbox crash dump can append the
+///    profile using only async-signal-safe byte copies.
+///
+/// Surfaces: `/profile?seconds=N&format=folded|json` on the
+/// IntrospectServer, `--profile PATH` on perf_suite and
+/// mobility_maintenance, `profiler_crash_snapshot()` inside blackbox
+/// dumps, and tools/obslib.py `load_profile` (docs/OBSERVABILITY.md,
+/// "Sampling profiler").
+///
+/// With MLDCS_ENABLE_TELEMETRY=OFF every function is an inline no-op
+/// stub (arm fails, reports are empty, PhaseScope compiles away); the
+/// folded/JSON writers stay real so unconditional callers (the
+/// introspection server) still emit valid empty documents.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"  // MLDCS_ENABLE_TELEMETRY / kTelemetryEnabled
+
+#if MLDCS_ENABLE_TELEMETRY
+#include <atomic>
+#endif
+
+namespace mldcs::obs {
+
+/// Phase vocabulary for sample attribution.  kNone is the untagged
+/// default (startup, bench harness code, anything outside the woven
+/// scopes); every sample carries exactly one phase, so per-phase counts
+/// always sum to the total.
+enum class Phase : std::uint32_t {
+  kNone = 0,           ///< outside any woven scope
+  kStepOwnership = 1,  ///< ShardedEngine step phase 1: ownership commit
+  kShardStep = 2,      ///< step phase 2: per-shard graph apply + hook
+  kHaloExchange = 3,   ///< phase 2 sub-span: routing movers into halos
+  kCacheRecompute = 4, ///< ShardCache / SkylineCache dirty-relay recompute
+  kStepCommit = 5,     ///< step phase 3: position commit + telemetry
+  kSimdKernel = 6,     ///< compute_skyline_arcs (SIMD kernel dispatch)
+  kPoolIdle = 7,       ///< ThreadPool worker parked on the task queue
+};
+
+inline constexpr std::size_t kPhaseCount = 8;
+
+/// Stable token for a phase ("shard_step", ...); used as the folded-stack
+/// root frame and as the JSON phase key.  Async-signal-safe (returns
+/// string literals).
+[[nodiscard]] constexpr const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kNone:
+      return "none";
+    case Phase::kStepOwnership:
+      return "step_ownership";
+    case Phase::kShardStep:
+      return "shard_step";
+    case Phase::kHaloExchange:
+      return "halo_exchange";
+    case Phase::kCacheRecompute:
+      return "cache_recompute";
+    case Phase::kStepCommit:
+      return "step_commit";
+    case Phase::kSimdKernel:
+      return "simd_kernel";
+    case Phase::kPoolIdle:
+      return "pool_idle";
+  }
+  return "none";
+}
+
+/// Profiler arming parameters.
+struct ProfilerConfig {
+  std::uint32_t hz = 97;  ///< sampling rate per thread, clamped to 1..1000
+};
+
+/// One folded profile, as drained so far.  Plain data, defined for both
+/// telemetry branches (the RegistrySnapshot pattern) so tools and tests
+/// compile unconditionally.
+struct ProfileReport {
+  std::uint32_t hz = 0;            ///< armed sampling rate
+  std::uint64_t total_samples = 0; ///< samples folded (== sum of phases)
+  std::uint64_t dropped = 0;       ///< samples lost to full rings
+  double duration_s = 0.0;         ///< armed wall time covered
+  /// "phase;outer;...;leaf" -> sample count, descending by count.
+  std::vector<std::pair<std::string, std::uint64_t>> folded;
+  /// phase_name -> sample count, descending by count; only nonzero rows.
+  std::vector<std::pair<std::string, std::uint64_t>> phases;
+};
+
+#if MLDCS_ENABLE_TELEMETRY
+
+namespace detail {
+/// The per-thread phase word.  Constant-initialized (no TLS init guard),
+/// so the SIGPROF handler's read is a plain thread-local atomic load.
+extern thread_local std::atomic<std::uint32_t> t_phase;
+}  // namespace detail
+
+/// RAII phase tag: two relaxed thread-local stores, nothing else — safe
+/// inside MLDCS_HOT_PATH / MLDCS_NO_LOCK code by hand audit (and known to
+/// mldcs-analyze's lock-discipline rule by name).  Scopes nest; the
+/// destructor restores the enclosing phase.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase p) noexcept
+      : prev_(detail::t_phase.load(std::memory_order_relaxed)) {
+    detail::t_phase.store(static_cast<std::uint32_t>(p),
+                          std::memory_order_relaxed);
+  }
+  ~PhaseScope() { detail::t_phase.store(prev_, std::memory_order_relaxed); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
+
+/// The calling thread's current phase tag (tests, diagnostics).
+[[nodiscard]] inline Phase profiler_current_phase() noexcept {
+  return static_cast<Phase>(
+      detail::t_phase.load(std::memory_order_relaxed));
+}
+
+/// Arm the profiler process-wide: installs the SIGPROF handler, starts
+/// one CPU-clock interval timer per registered thread (plus the caller's,
+/// which is registered implicitly), and launches the drain thread.
+/// Returns false when already armed.  Rearming resets the folded state.
+bool profiler_arm(const ProfilerConfig& config);
+
+/// Delete the timers, stop sampling, and join the drain thread (which
+/// takes a final sweep, so the report is complete on return).  The
+/// SIGPROF handler stays installed — it is a benign no-op while disarmed,
+/// and restoring the default disposition would race a late timer signal
+/// into process death.
+void profiler_disarm();
+
+[[nodiscard]] bool profiler_armed() noexcept;
+
+/// Register the calling thread for sampling.  Idempotent and cheap after
+/// the first call; a no-op beyond the fixed thread capacity (64).  Called
+/// from ThreadPool workers and ShardedEngine construction; call it from
+/// any additional thread that should appear in profiles.  While armed,
+/// registration starts the thread's timer immediately.
+void profiler_register_thread();
+
+/// The profile folded so far (armed or not).  Thread-safe; between drain
+/// sweeps the newest <=50 ms of samples are still in the rings.
+[[nodiscard]] ProfileReport profiler_report();
+
+/// Capture one bounded window.  Disarmed: arms with `config`, sleeps
+/// `seconds` (clamped to 0.05..30), disarms, returns the full report.
+/// Already armed: leaves the run's profiler alone and returns the
+/// *difference* over the window, so an on-demand `/profile` probe against
+/// a `--profile` run yields a clean windowed view.
+[[nodiscard]] ProfileReport profiler_capture_window(
+    double seconds, const ProfilerConfig& config);
+
+/// Copy the drain thread's pre-serialized `{"kind":"profile",...}\n` line
+/// (one bounded JSON object: hz, totals, phase counts, top stacks) into
+/// `dst`.  Async-signal-safe — byte copies and atomic loads only — and
+/// torn-flip protected; returns bytes written, 0 when nothing has been
+/// serialized yet or `cap` is too small.  The blackbox dumper appends
+/// this between the event tail and the end trailer.
+std::size_t profiler_crash_snapshot(char* dst, std::size_t cap) noexcept;
+
+#else  // !MLDCS_ENABLE_TELEMETRY
+
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase) noexcept {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+};
+
+[[nodiscard]] inline Phase profiler_current_phase() noexcept {
+  return Phase::kNone;
+}
+inline bool profiler_arm(const ProfilerConfig&) { return false; }
+inline void profiler_disarm() {}
+[[nodiscard]] inline bool profiler_armed() noexcept { return false; }
+inline void profiler_register_thread() {}
+[[nodiscard]] inline ProfileReport profiler_report() { return {}; }
+[[nodiscard]] inline ProfileReport profiler_capture_window(
+    double, const ProfilerConfig&) {
+  return {};
+}
+inline std::size_t profiler_crash_snapshot(char*, std::size_t) noexcept {
+  return 0;
+}
+
+#endif  // MLDCS_ENABLE_TELEMETRY
+
+/// Write `r` as collapsed-stack text: one "stack count" line per folded
+/// stack, flamegraph.pl / speedscope compatible.  Metadata (hz, dropped,
+/// phases) is not representable here — use the JSON form for that.
+/// Real in both telemetry branches: an OFF build writes an empty (valid)
+/// document.
+void write_profile_folded(std::ostream& os, const ProfileReport& r);
+
+/// Write `r` as one `mldcs-profile-v1` JSON document:
+///   {"schema":"mldcs-profile-v1","hz":..,"total_samples":..,
+///    "dropped":..,"duration_s":..,"phases":{..},"folded":{..}}
+/// Phase counts sum to total_samples by construction.
+void write_profile_json(std::ostream& os, const ProfileReport& r);
+
+}  // namespace mldcs::obs

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace mldcs::sim {
@@ -62,10 +63,17 @@ void ThreadPool::ensure_started() {
 }
 
 void ThreadPool::worker_loop() {
+  // Workers run the shard bodies; register them for CPU-time sampling
+  // (idempotent, lock paid once per worker lifetime).
+  obs::profiler_register_thread();
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      // Parked workers burn no CPU, so the CPU-clock profiler rarely
+      // catches this phase; the tag exists for the samples that land in
+      // the wake/sleep edges.
+      const obs::PhaseScope idle(obs::Phase::kPoolIdle);
       task_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());

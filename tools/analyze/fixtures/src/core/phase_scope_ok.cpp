@@ -1,0 +1,35 @@
+// Clean fixture for the lock-discipline PhaseScope carve-out.  The real
+// obs::PhaseScope (obs/profiler.hpp) lives in a translation unit full of
+// registry mutexes, but the scope object itself is two relaxed
+// thread-local stores — LOCK_FREE_CALLEES tells the walk not to descend
+// into it, so an MLDCS_NO_LOCK body may tag itself.  Must stay silent.
+#include <cstdint>
+#include <mutex>
+
+#define MLDCS_NO_LOCK
+
+namespace fixture {
+
+std::mutex g_reg_mu;
+thread_local std::uint32_t t_phase;
+
+class PhaseScope {
+ public:
+  explicit PhaseScope(std::uint32_t p) : prev_(t_phase) {
+    // A lock sink the walk would flag if it descended into the callee.
+    const std::lock_guard<std::mutex> lock(g_reg_mu);
+    t_phase = p;
+  }
+  ~PhaseScope() { t_phase = prev_; }
+
+ private:
+  std::uint32_t prev_;
+};
+
+MLDCS_NO_LOCK std::uint32_t tagged_step(std::uint32_t p) {
+  const PhaseScope scope(p);  // named-variable call site
+  PhaseScope(p + 1);  // temporary call site (bare `p` would declare a var)
+  return t_phase;
+}
+
+}  // namespace fixture

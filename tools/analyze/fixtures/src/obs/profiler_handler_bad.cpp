@@ -1,0 +1,27 @@
+// Seeded hot-no-alloc violations in a profiler-shaped signal handler.
+// The real sampling hot path (src/obs/profiler.cpp sigprof_handler) must
+// stay allocation-free — a handler that builds its backtrace in a fresh
+// heap container is exactly the regression the rule exists to catch.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#define MLDCS_HOT_PATH
+#define MLDCS_NO_LOCK
+
+namespace fixture {
+
+std::uint64_t* g_frames;
+
+std::string frame_label(std::uint64_t pc) {
+  return std::to_string(pc);  // transitive alloc-call
+}
+
+MLDCS_HOT_PATH MLDCS_NO_LOCK void sigprof_handler_bad(int) {
+  std::vector<std::uint64_t> frames;  // fresh local owning container
+  frames.push_back(0x1234u);
+  g_frames = new std::uint64_t[64];  // new-expression in the handler
+  frame_label(frames[0]);  // edge into the allocating symbolizer
+}
+
+}  // namespace fixture

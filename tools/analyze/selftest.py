@@ -23,7 +23,8 @@ FIXTURES = os.path.join(HERE, "fixtures")
 EXPECTED = os.path.join(FIXTURES, "expected.json")
 ANALYZER = os.path.join(HERE, "mldcs_analyze.py")
 
-CLEAN_FILES = ("src/core/hot_alloc_ok.cpp",)
+CLEAN_FILES = ("src/core/hot_alloc_ok.cpp",
+               "src/core/phase_scope_ok.cpp")
 
 
 def run_analyzer(extra):

@@ -10,6 +10,10 @@ The C++ side emits three JSON document families (docs/OBSERVABILITY.md):
     dumper (header, heartbeat frames, event-tail lines, end line),
   * mldcs-shards-v1 per-shard load tables from the introspection
     server's /shards endpoint,
+  * mldcs-profile-v1 sampling profiles from obs::profiler (folded
+    collapsed-stack text from --profile / /profile, one JSON document
+    from /profile?format=json, and {"kind":"profile"} lines embedded in
+    blackbox reports),
 
 plus the mldcs-perf-v1 benchmark documents from perf_suite.  Every tool
 that reads one of these (summarize_trace.py, check_bench.py,
@@ -28,6 +32,7 @@ TELEMETRY_SCHEMA = "mldcs-telemetry-v1"
 PERF_SCHEMA = "mldcs-perf-v1"
 BLACKBOX_SCHEMA = "mldcs-blackbox-v1"
 SHARDS_SCHEMA = "mldcs-shards-v1"
+PROFILE_SCHEMA = "mldcs-profile-v1"
 
 #: Event-type tokens emitted by obs::event_type_name (one per EventType).
 EVENT_TYPES = frozenset({
@@ -165,6 +170,10 @@ def load_blackbox(path):
     SchemaError on unreadable input, a bad header, an unknown line kind,
     non-increasing heartbeat sequence numbers or event ids, a malformed
     counter delta, or an end line whose counts disagree with the body.
+    An optional {"kind":"profile"} line (present when the sampling
+    profiler was armed at dump time) is validated in place against
+    mldcs-profile-v1 and otherwise ignored here; use scan_blackbox_profile
+    to extract it.
 
     The end line is optional: a dump interrupted mid-write (the process
     died inside the crash handler) still yields whatever frames landed,
@@ -242,6 +251,8 @@ def load_blackbox(path):
                     f"increasing ({prev_id} then {doc['id']})")
             prev_id = doc["id"]
             events.append(doc)
+        elif kind == "profile":
+            check_profile_doc(doc, f"{path}:{i + 1}")
         elif kind == "end":
             end = doc
         else:
@@ -257,6 +268,160 @@ def load_blackbox(path):
                               f"{end.get('events')} events, found "
                               f"{len(events)}")
     return header, frames, events
+
+
+#: Phase tokens emitted by obs::phase_name (one per obs::Phase).
+PHASE_NAMES = frozenset({
+    "none", "step_ownership", "shard_step", "halo_exchange",
+    "cache_recompute", "step_commit", "simd_kernel", "pool_idle",
+})
+
+
+def check_profile_doc(doc, path):
+    """Validate one mldcs-profile-v1 JSON document; return it.
+
+    Accepts both the standalone form (/profile?format=json: has
+    "duration_s" and a complete "folded" stack map) and the bounded
+    {"kind":"profile"} line embedded in blackbox reports (has a
+    truncated "top" stack array instead).  In both, phase counts must
+    sum to total_samples — every sample carries exactly one phase.
+    """
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: profile is not a JSON object")
+    if doc.get("schema") != PROFILE_SCHEMA:
+        raise SchemaError(f"{path}: unexpected schema {doc.get('schema')!r} "
+                          f"(expected {PROFILE_SCHEMA})")
+    for key in ("hz", "total_samples", "dropped"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            raise SchemaError(
+                f"{path}: profile '{key}' is not a non-negative integer")
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        raise SchemaError(f"{path}: profile is missing the 'phases' object")
+    for name, count in phases.items():
+        if name not in PHASE_NAMES:
+            raise SchemaError(f"{path}: unknown phase {name!r}")
+        if not isinstance(count, int) or count < 0:
+            raise SchemaError(f"{path}: phase {name!r} count is not a "
+                              "non-negative integer")
+    if sum(phases.values()) != doc["total_samples"]:
+        raise SchemaError(
+            f"{path}: phase counts sum to {sum(phases.values())}, "
+            f"total_samples is {doc['total_samples']}")
+    folded = doc.get("folded")
+    top = doc.get("top")
+    if isinstance(folded, dict):
+        for stack, count in folded.items():
+            if not isinstance(count, int) or count < 0:
+                raise SchemaError(f"{path}: folded stack {stack!r} count "
+                                  "is not a non-negative integer")
+        if sum(folded.values()) != doc["total_samples"]:
+            raise SchemaError(
+                f"{path}: folded counts sum to {sum(folded.values())}, "
+                f"total_samples is {doc['total_samples']}")
+    elif isinstance(top, list):
+        seen = 0
+        for i, entry in enumerate(top):
+            if (not isinstance(entry, list) or len(entry) != 2
+                    or not isinstance(entry[0], str)
+                    or not isinstance(entry[1], int) or entry[1] < 0):
+                raise SchemaError(
+                    f"{path}: top[{i}] is not a [stack, count] pair")
+            seen += entry[1]
+        if seen > doc["total_samples"]:  # truncated list: <= is the contract
+            raise SchemaError(
+                f"{path}: top counts sum to {seen}, exceeding "
+                f"total_samples {doc['total_samples']}")
+    else:
+        raise SchemaError(
+            f"{path}: profile has neither a 'folded' map nor a 'top' array")
+    return doc
+
+
+def _parse_folded_text(text, path):
+    """Parse collapsed-stack text ("stack count" lines) into stack rows."""
+    stacks = []
+    for i, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not count.isdigit():
+            raise SchemaError(
+                f"{path}:{i + 1}: not a 'stack count' folded line")
+        if not stack:
+            raise SchemaError(f"{path}:{i + 1}: empty stack")
+        stacks.append((stack, int(count)))
+    return stacks
+
+
+def load_profile(path):
+    """Load a profile in either serialization; return a normalized dict.
+
+    Sniffs the format: a document starting with '{' is parsed as the
+    mldcs-profile-v1 JSON form (check_profile_doc); anything else as
+    collapsed-stack text, where each line is "phase;frame;...;leaf N"
+    and the phase breakdown is recovered from the root frame.  An empty
+    file is a valid empty profile (telemetry-off builds serve one).
+
+    Returns {"format", "hz", "total_samples", "dropped", "duration_s",
+    "phases", "stacks"} with stacks as (stack, count) pairs sorted by
+    descending count; hz/dropped/duration_s are None in folded form
+    (the text carries no metadata).
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise SchemaError(f"cannot read {path}: {e}") from e
+    if text.lstrip().startswith("{"):
+        try:
+            doc = json.loads(text)
+        except ValueError as e:
+            raise SchemaError(f"{path}: bad JSON: {e}") from e
+        check_profile_doc(doc, path)
+        if isinstance(doc.get("folded"), dict):
+            stacks = list(doc["folded"].items())
+        else:
+            stacks = [(e[0], e[1]) for e in doc.get("top", [])]
+        stacks.sort(key=lambda kv: (-kv[1], kv[0]))
+        return {"format": "json", "hz": doc["hz"],
+                "total_samples": doc["total_samples"],
+                "dropped": doc["dropped"],
+                "duration_s": doc.get("duration_s"),
+                "phases": dict(doc["phases"]), "stacks": stacks}
+    stacks = _parse_folded_text(text, path)
+    phases = {}
+    for stack, count in stacks:
+        root = stack.split(";", 1)[0]
+        if root not in PHASE_NAMES:
+            raise SchemaError(
+                f"{path}: folded stack root {root!r} is not a phase "
+                "(expected one of obs::phase_name's tokens)")
+        phases[root] = phases.get(root, 0) + count
+    stacks.sort(key=lambda kv: (-kv[1], kv[0]))
+    return {"format": "folded", "hz": None,
+            "total_samples": sum(c for _, c in stacks), "dropped": None,
+            "duration_s": None, "phases": phases, "stacks": stacks}
+
+
+def scan_blackbox_profile(path):
+    """Return the {"kind":"profile"} line of a blackbox report, or None."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(doc, dict) and doc.get("kind") == "profile":
+                    return check_profile_doc(doc, path)
+    except OSError as e:
+        raise SchemaError(f"cannot read {path}: {e}") from e
+    return None
 
 
 def check_shards(doc, path):

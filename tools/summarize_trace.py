@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Summarize an mldcs chrome-trace file as a per-phase time table.
 
-Usage: tools/summarize_trace.py TRACE.json [--snapshot SNAPSHOT.json]
-                                           [--blackbox REPORT.jsonl]
+Usage: tools/summarize_trace.py [TRACE.json] [--snapshot SNAPSHOT.json]
+                                [--blackbox REPORT.jsonl]
+                                [--profile PROFILE[.folded|.json]]
 
 TRACE.json is the trace-event file written by `perf_suite --trace` or
 `mobility_maintenance --trace` (obs::write_trace_json): a JSON object with
@@ -21,6 +22,13 @@ example/bench binaries or a crash): dump reason, heartbeat step range,
 the hottest counters by last-interval delta, and the event-tail span.
 A report without its end trailer is summarized with a PARTIAL warning —
 the dump was interrupted mid-write — rather than rejected.
+
+--profile validates and summarizes an mldcs-profile-v1 sampling profile
+(from --profile PATH on the binaries, or curl of /profile; both the
+folded collapsed-stack text and the ?format=json document are accepted):
+the phase breakdown table (count and share per phase) and the top-K
+hottest folded stacks.  The trace argument is optional when --profile
+or --blackbox is given.
 
 Exit status: 0 on success — including an empty trace (telemetry compiled
 out or tracing never started) and an empty or truncated trace *file*
@@ -133,21 +141,56 @@ def print_blackbox_summary(header, frames, events):
         print(f"  event tail ids {events[0]['id']}..{events[-1]['id']}")
 
 
+def print_profile_summary(prof, top_k=12):
+    meta = []
+    if prof["hz"] is not None:
+        meta.append(f"{prof['hz']} Hz")
+    if prof["duration_s"] is not None:
+        meta.append(f"{prof['duration_s']:.2f} s")
+    if prof["dropped"] is not None:
+        meta.append(f"{prof['dropped']} dropped")
+    suffix = f" ({', '.join(meta)})" if meta else ""
+    print(f"\nprofile [{prof['format']}]: {prof['total_samples']} "
+          f"samples{suffix}")
+    if prof["total_samples"] == 0:
+        print("  no samples (telemetry compiled out, or the profiler was "
+              "never armed / the window saw no CPU)")
+        return
+    total = prof["total_samples"]
+    header = f"  {'phase':<20} {'samples':>10} {'share':>7}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for name, count in sorted(prof["phases"].items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<20} {count:>10} {100.0 * count / total:>6.1f}%")
+    print(f"  top {min(top_k, len(prof['stacks']))} stacks:")
+    for stack, count in prof["stacks"][:top_k]:
+        label = stack if len(stack) <= 100 else stack[:97] + "..."
+        print(f"  {count:>8}  {label}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Summarize an mldcs trace (and optional telemetry "
-                    "snapshot / blackbox report).")
-    parser.add_argument("trace", help="trace-event JSON from --trace")
+                    "snapshot / blackbox report / sampling profile).")
+    parser.add_argument("trace", nargs="?",
+                        help="trace-event JSON from --trace (optional when "
+                             "--profile or --blackbox is given)")
     parser.add_argument("--snapshot",
                         help="mldcs-telemetry-v1 JSON from --telemetry")
     parser.add_argument("--blackbox",
                         help="mldcs-blackbox-v1 JSONL report to validate "
                              "and summarize")
+    parser.add_argument("--profile",
+                        help="mldcs-profile-v1 sampling profile (folded "
+                             "text or JSON) to validate and summarize")
     args = parser.parse_args()
+    if args.trace is None and not (args.profile or args.blackbox):
+        parser.error("give a trace file, --profile, or --blackbox")
 
-    spans = load_trace_spans(args.trace)
-    if spans is not None:
-        print_trace_summary(spans)
+    if args.trace is not None:
+        spans = load_trace_spans(args.trace)
+        if spans is not None:
+            print_trace_summary(spans)
 
     if args.snapshot:
         try:
@@ -168,6 +211,18 @@ def main():
                 for ln in open(args.blackbox, encoding="utf-8")):
             print("  WARNING: PARTIAL report (no end trailer; the dump "
                   "was interrupted mid-write)")
+        embedded = obslib.scan_blackbox_profile(args.blackbox)
+        if embedded is not None:
+            print(f"  profile appendix: {embedded['total_samples']} samples "
+                  f"at {embedded['hz']} Hz across "
+                  f"{len(embedded['phases'])} phase(s)")
+
+    if args.profile:
+        try:
+            prof = obslib.load_profile(args.profile)
+        except obslib.SchemaError as e:
+            fail(str(e))
+        print_profile_summary(prof)
     return 0
 
 
